@@ -1,0 +1,55 @@
+// Shared helpers for the benchmark harnesses. Each bench binary
+// regenerates one artifact of the paper (Table 1 or a quantitative claim
+// from Sections 4.2/5.1/5.4/Appendix A — DESIGN.md's experiment index),
+// printing the measured rows next to the paper's asymptotic prediction.
+//
+// Wall-clock timing of full multi-shot executions is registered through
+// google-benchmark; the communication measurements (the paper's actual
+// metric) are printed as tables after the timing runs.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "runner/fit.hpp"
+#include "runner/registry.hpp"
+#include "runner/result.hpp"
+#include "runner/table.hpp"
+
+namespace ambb::bench {
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+/// Run a protocol from the registry and sanity-check the run (so the
+/// numbers we print always come from correct executions).
+inline RunResult checked_run(const std::string& proto,
+                             const CommonParams& p) {
+  const ProtocolInfo& info = protocol(proto);
+  RunResult r = info.run(p);
+  auto errs = check_consistency(r);
+  auto v = check_validity(r);
+  errs.insert(errs.end(), v.begin(), v.end());
+  bool stall_ok = false;
+  for (const auto& a : info.known_liveness_failures) {
+    if (a == p.adversary) stall_ok = true;
+  }
+  if (!stall_ok) {
+    auto t = check_termination(r);
+    errs.insert(errs.end(), t.begin(), t.end());
+  }
+  if (!errs.empty()) {
+    std::printf("!! %s/%s produced %zu property violations (first: %s)\n",
+                proto.c_str(), p.adversary.c_str(), errs.size(),
+                errs[0].c_str());
+  }
+  return r;
+}
+
+}  // namespace ambb::bench

@@ -1,0 +1,137 @@
+// Experiment F2 — scaling exponents behind Table 1: the log-log slope of
+// steady-state amortized cost vs n should approach the polynomial degree
+// of each protocol's amortized bound:
+//   Algorithm 4        ~ n^1      (with a constant-degree expander)
+//   Algorithm 5.2      ~ n^2
+//   MR-style baseline  ~ n^2
+//   phase-king         ~ n^2..n^3 (textbook variant, see DESIGN.md)
+//   Dolev-Strong       ~ n^3      (worst case, plain signatures)
+#include "bench_common.hpp"
+
+#include "bb/dolev_strong.hpp"
+#include "bb/linear_bb.hpp"
+#include "bb/phase_king.hpp"
+#include "bb/quadratic_bb.hpp"
+
+namespace ambb::bench {
+namespace {
+
+struct Series {
+  std::string name;
+  double expected_low, expected_high;
+  std::vector<double> ns, costs;
+};
+
+void run_scaling() {
+  print_header(
+      "F2 / Table 1 scaling exponents: log-log slope of steady-state "
+      "amortized bits vs n",
+      "slopes ~1 (Alg.4), ~2 (Alg.5.2, MR baseline), ~3 (Dolev-Strong "
+      "worst case)");
+
+  Series alg4{"Alg.4 (mixed adv, eps=0.2)", 0.7, 1.6, {}, {}};
+  for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
+    linear::LinearConfig cfg;
+    cfg.n = n;
+    cfg.f = static_cast<std::uint32_t>(0.3 * n);
+    cfg.slots = 3 * n;
+    cfg.seed = 7;
+    cfg.eps = 0.2;  // constant expander degree across this sweep
+    cfg.adversary = "mixed";
+    auto r = linear::run_linear(cfg);
+    alg4.ns.push_back(n);
+    alg4.costs.push_back(r.amortized_tail(2 * n));
+  }
+
+  Series mr{"MR-style baseline (mixed adv)", 1.6, 2.5, {}, {}};
+  for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
+    linear::LinearConfig cfg;
+    cfg.n = n;
+    cfg.f = static_cast<std::uint32_t>(0.3 * n);
+    cfg.slots = 8;
+    cfg.seed = 7;
+    cfg.eps = 0.2;
+    cfg.adversary = "mixed";
+    cfg.opts = linear::Options::mr_baseline();
+    auto r = linear::run_linear(cfg);
+    mr.ns.push_back(n);
+    mr.costs.push_back(r.amortized_tail(4));
+  }
+
+  Series s_quad{"Alg.5.2 (silent adv, f=n/2)", 1.5, 2.6, {}, {}};
+  for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
+    quad::QuadConfig cfg;
+    cfg.n = n;
+    cfg.f = n / 2;
+    cfg.slots = 3 * n;
+    cfg.seed = 7;
+    cfg.adversary = "silent";
+    auto r = quad::run_quadratic(cfg);
+    s_quad.ns.push_back(n);
+    s_quad.costs.push_back(r.amortized_tail(2 * n));
+  }
+
+  Series dsw{"Dolev-Strong plain (stagger, f=n/2)", 2.3, 3.4, {}, {}};
+  for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
+    ds::DsConfig cfg;
+    cfg.n = n;
+    cfg.f = n / 2;
+    cfg.slots = 4;
+    cfg.seed = 7;
+    cfg.adversary = "stagger";
+    auto r = ds::run_dolev_strong(cfg);
+    dsw.ns.push_back(n);
+    dsw.costs.push_back(r.amortized());
+  }
+
+  Series s_pk{"phase-king (confuse, f<n/3)", 1.6, 3.2, {}, {}};
+  for (std::uint32_t n : {10u, 13u, 19u, 25u}) {
+    pk::PkConfig cfg;
+    cfg.n = n;
+    cfg.f = (n - 1) / 3;
+    cfg.slots = 4;
+    cfg.seed = 7;
+    cfg.adversary = "confuse";
+    auto r = pk::run_phase_king(cfg);
+    s_pk.ns.push_back(n);
+    s_pk.costs.push_back(r.amortized());
+  }
+
+  TextTable t({"protocol", "n sweep", "measured slope", "paper-expected"});
+  for (const Series* s : {&alg4, &mr, &s_quad, &dsw, &s_pk}) {
+    const double slope = loglog_slope(s->ns, s->costs);
+    char sweep[64];
+    std::snprintf(sweep, sizeof sweep, "%.0f..%.0f", s->ns.front(),
+                  s->ns.back());
+    char expect[64];
+    std::snprintf(expect, sizeof expect, "[%.1f, %.1f]", s->expected_low,
+                  s->expected_high);
+    t.add_row({s->name, sweep, TextTable::num(slope, 2), expect});
+  }
+  std::printf("%s", t.render().c_str());
+}
+
+void BM_ScalingLinear(::benchmark::State& state) {
+  linear::LinearConfig cfg;
+  cfg.n = static_cast<std::uint32_t>(state.range(0));
+  cfg.f = static_cast<std::uint32_t>(0.3 * cfg.n);
+  cfg.slots = 16;
+  cfg.eps = 0.2;
+  cfg.seed = 7;
+  cfg.adversary = "mixed";
+  for (auto _ : state) {
+    auto r = linear::run_linear(cfg);
+    ::benchmark::DoNotOptimize(r.honest_bits);
+  }
+}
+BENCHMARK(BM_ScalingLinear)->Arg(24)->Arg(48)->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ambb::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ambb::bench::run_scaling();
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Adversarial resilience tour: runs Algorithm 4 against every implemented
+// attack — including a strongly adaptive adversary performing
+// after-the-fact message removal — verifies the multi-shot BB properties,
+// and shows the amortization kicking in (early vs steady-state cost).
+#include <cstdio>
+#include <string>
+
+#include "bb/linear_bb.hpp"
+#include "runner/result.hpp"
+#include "runner/table.hpp"
+
+int main() {
+  using namespace ambb;
+
+  const std::uint32_t n = 20, f = 8;
+  const Slot slots = 60;
+
+  std::printf(
+      "Algorithm 4 under every implemented adversary (n=%u, f=%u, L=%u)\n\n",
+      n, f, slots);
+
+  TextTable t({"adversary", "properties", "amortized (first 10)",
+               "steady state (last 30)", "amortization factor"});
+  for (const char* adv : {"none", "silent", "equivocate", "selective",
+                          "flood", "mixed", "adaptive-erase"}) {
+    linear::LinearConfig cfg;
+    cfg.n = n;
+    cfg.f = f;
+    cfg.slots = slots;
+    cfg.seed = 5;
+    cfg.adversary = adv;
+    RunResult r = linear::run_linear(cfg);
+    auto errs = check_all(r);
+    const double head = r.amortized(10);
+    const double tail = r.amortized_tail(30);
+    t.add_row({adv, errs.empty() ? "all hold" : "VIOLATED",
+               TextTable::bits_human(head), TextTable::bits_human(tail),
+               TextTable::num(head / tail, 2) + "x"});
+    for (const auto& e : errs) std::printf("  !! %s\n", e.c_str());
+  }
+  std::printf("%s\n", t.render().c_str());
+  std::printf(
+      "The 'amortization factor' is how much cheaper a steady-state slot is "
+      "than the first slots, i.e. the one-time\nO(kappa n^3) term "
+      "(accusations, corrupt-proofs, query bursts) being paid off — the "
+      "paper's central claim.\n");
+  return 0;
+}

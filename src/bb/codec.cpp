@@ -1,0 +1,313 @@
+#include "bb/codec.hpp"
+
+#include "common/check.hpp"
+#include "crypto/serialize.hpp"
+
+namespace ambb {
+namespace {
+
+template <typename KindT>
+KindT decode_kind(Decoder& d, KindT count) {
+  const std::uint8_t raw = d.get_u8();
+  AMBB_CHECK_MSG(raw < static_cast<std::uint8_t>(count),
+                 "invalid message kind " << int{raw});
+  return static_cast<KindT>(raw);
+}
+
+}  // namespace
+}  // namespace ambb
+
+// ---------------------------------------------------------------------------
+// linear (Algorithm 4)
+// ---------------------------------------------------------------------------
+namespace ambb::linear {
+
+void encode(const Msg& m, Encoder& e) {
+  e.put_u8(static_cast<std::uint8_t>(m.kind));
+  e.put_u32(m.slot);
+  e.put_u16(static_cast<std::uint16_t>(m.epoch));
+  e.put_u64(m.value);
+  e.put_u8(m.has_cert ? 1 : 0);
+  if (m.has_cert) {
+    e.put_u16(static_cast<std::uint16_t>(m.cert_epoch));
+    encode_thsig(m.cert, e);
+  }
+  switch (m.kind) {
+    case Kind::kCommitProof:
+      e.put_u16(static_cast<std::uint16_t>(m.proof_epoch));
+      encode_thsig(m.proof, e);
+      break;
+    case Kind::kCorruptProof:
+      e.put_u32(m.accused);
+      encode_thsig(m.proof, e);
+      break;
+    case Kind::kVote:
+    case Kind::kCertVote:
+      encode_share(m.share, e);
+      break;
+    case Kind::kAccuse:
+    case Kind::kAccuseForward:
+      e.put_u32(m.accused);
+      encode_share(m.share, e);
+      break;
+    case Kind::kPropose:
+    case Kind::kPropForward:
+      encode_signature(m.sig, e);
+      break;
+    case Kind::kCert:
+    case Kind::kCertForward:
+      encode_thsig(m.cert, e);
+      break;
+    case Kind::kCollect:
+    case Kind::kQuery1:
+    case Kind::kQuery2:
+      break;
+    case Kind::kKindCount:
+      AMBB_CHECK(false);
+  }
+}
+
+Msg decode(Decoder& d) {
+  Msg m;
+  m.kind = decode_kind(d, Kind::kKindCount);
+  m.slot = d.get_u32();
+  m.epoch = d.get_u16();
+  m.value = d.get_u64();
+  m.has_cert = d.get_u8() != 0;
+  if (m.has_cert) {
+    m.cert_epoch = d.get_u16();
+    m.cert = decode_thsig(d);
+  }
+  switch (m.kind) {
+    case Kind::kCommitProof:
+      m.proof_epoch = d.get_u16();
+      m.proof = decode_thsig(d);
+      break;
+    case Kind::kCorruptProof:
+      m.accused = d.get_u32();
+      m.proof = decode_thsig(d);
+      break;
+    case Kind::kVote:
+    case Kind::kCertVote:
+      m.share = decode_share(d);
+      break;
+    case Kind::kAccuse:
+    case Kind::kAccuseForward:
+      m.accused = d.get_u32();
+      m.share = decode_share(d);
+      break;
+    case Kind::kPropose:
+    case Kind::kPropForward:
+      m.sig = decode_signature(d);
+      break;
+    case Kind::kCert:
+    case Kind::kCertForward:
+      m.cert = decode_thsig(d);
+      break;
+    case Kind::kCollect:
+    case Kind::kQuery1:
+    case Kind::kQuery2:
+      break;
+    case Kind::kKindCount:
+      AMBB_CHECK(false);
+  }
+  return m;
+}
+
+bool operator==(const Msg& a, const Msg& b) {
+  if (a.kind != b.kind || a.slot != b.slot || a.epoch != b.epoch ||
+      a.value != b.value || a.has_cert != b.has_cert) {
+    return false;
+  }
+  if (a.has_cert && (a.cert_epoch != b.cert_epoch || !(a.cert == b.cert))) {
+    return false;
+  }
+  switch (a.kind) {
+    case Kind::kCommitProof:
+      return a.proof_epoch == b.proof_epoch && a.proof == b.proof;
+    case Kind::kCorruptProof:
+      return a.accused == b.accused && a.proof == b.proof;
+    case Kind::kVote:
+    case Kind::kCertVote:
+      return a.share == b.share;
+    case Kind::kAccuse:
+    case Kind::kAccuseForward:
+      return a.accused == b.accused && a.share == b.share;
+    case Kind::kPropose:
+    case Kind::kPropForward:
+      return a.sig == b.sig;
+    case Kind::kCert:
+    case Kind::kCertForward:
+      return a.cert == b.cert;
+    default:
+      return true;
+  }
+}
+
+}  // namespace ambb::linear
+
+// ---------------------------------------------------------------------------
+// quad (TrustCast / Algorithm 5.2)
+// ---------------------------------------------------------------------------
+namespace ambb::quad {
+
+void encode(const Msg& m, Encoder& e) {
+  e.put_u8(static_cast<std::uint8_t>(m.kind));
+  e.put_u32(m.slot);
+  e.put_u64(m.value);
+  e.put_u32(m.accused);
+  encode_signature(m.sig, e);
+}
+
+Msg decode(Decoder& d) {
+  Msg m;
+  m.kind = decode_kind(d, Kind::kKindCount);
+  m.slot = d.get_u32();
+  m.value = d.get_u64();
+  m.accused = d.get_u32();
+  m.sig = decode_signature(d);
+  return m;
+}
+
+bool operator==(const Msg& a, const Msg& b) {
+  return a.kind == b.kind && a.slot == b.slot && a.value == b.value &&
+         a.accused == b.accused && a.sig == b.sig;
+}
+
+}  // namespace ambb::quad
+
+// ---------------------------------------------------------------------------
+// ds (Dolev-Strong)
+// ---------------------------------------------------------------------------
+namespace ambb::ds {
+
+void encode(const Msg& m, Encoder& e) {
+  e.put_u8(static_cast<std::uint8_t>(m.kind));
+  e.put_u32(m.slot);
+  e.put_u64(m.value);
+  e.put_u16(static_cast<std::uint16_t>(m.chain.size()));
+  for (const auto& s : m.chain) encode_signature(s, e);
+  encode_multisig(m.agg, e);
+}
+
+Msg decode(Decoder& d) {
+  Msg m;
+  m.kind = decode_kind(d, Kind::kKindCount);
+  m.slot = d.get_u32();
+  m.value = d.get_u64();
+  const std::uint16_t count = d.get_u16();
+  m.chain.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    m.chain.push_back(decode_signature(d));
+  }
+  m.agg = decode_multisig(d);
+  return m;
+}
+
+bool operator==(const Msg& a, const Msg& b) {
+  return a.kind == b.kind && a.slot == b.slot && a.value == b.value &&
+         a.chain == b.chain && a.agg.signers == b.agg.signers &&
+         a.agg.agg == b.agg.agg;
+}
+
+}  // namespace ambb::ds
+
+// ---------------------------------------------------------------------------
+// pk (phase king)
+// ---------------------------------------------------------------------------
+namespace ambb::pk {
+
+void encode(const Msg& m, Encoder& e) {
+  e.put_u8(static_cast<std::uint8_t>(m.kind));
+  e.put_u32(m.slot);
+  e.put_u32(m.phase);
+  e.put_u8(m.has_value ? 1 : 0);
+  if (m.has_value) e.put_u64(m.value);
+}
+
+Msg decode(Decoder& d) {
+  Msg m;
+  m.kind = decode_kind(d, Kind::kKindCount);
+  m.slot = d.get_u32();
+  m.phase = d.get_u32();
+  m.has_value = d.get_u8() != 0;
+  if (m.has_value) m.value = d.get_u64();
+  return m;
+}
+
+bool operator==(const Msg& a, const Msg& b) {
+  return a.kind == b.kind && a.slot == b.slot && a.phase == b.phase &&
+         a.has_value == b.has_value &&
+         (!a.has_value || a.value == b.value);
+}
+
+}  // namespace ambb::pk
+
+// ---------------------------------------------------------------------------
+// hs (HotStuff demo)
+// ---------------------------------------------------------------------------
+namespace ambb::hs {
+
+void encode(const Msg& m, Encoder& e) {
+  e.put_u8(static_cast<std::uint8_t>(m.kind));
+  e.put_u32(m.slot);
+  e.put_u64(m.value);
+  switch (m.kind) {
+    case Kind::kPropose:
+      encode_signature(m.sig, e);
+      break;
+    case Kind::kVote1:
+    case Kind::kVote2:
+      encode_share(m.share, e);
+      break;
+    case Kind::kCert:
+    case Kind::kProof:
+      encode_thsig(m.thsig, e);
+      break;
+    case Kind::kKindCount:
+      AMBB_CHECK(false);
+  }
+}
+
+Msg decode(Decoder& d) {
+  Msg m;
+  m.kind = decode_kind(d, Kind::kKindCount);
+  m.slot = d.get_u32();
+  m.value = d.get_u64();
+  switch (m.kind) {
+    case Kind::kPropose:
+      m.sig = decode_signature(d);
+      break;
+    case Kind::kVote1:
+    case Kind::kVote2:
+      m.share = decode_share(d);
+      break;
+    case Kind::kCert:
+    case Kind::kProof:
+      m.thsig = decode_thsig(d);
+      break;
+    case Kind::kKindCount:
+      AMBB_CHECK(false);
+  }
+  return m;
+}
+
+bool operator==(const Msg& a, const Msg& b) {
+  if (a.kind != b.kind || a.slot != b.slot || a.value != b.value) {
+    return false;
+  }
+  switch (a.kind) {
+    case Kind::kPropose:
+      return a.sig == b.sig;
+    case Kind::kVote1:
+    case Kind::kVote2:
+      return a.share == b.share;
+    case Kind::kCert:
+    case Kind::kProof:
+      return a.thsig == b.thsig;
+    default:
+      return true;
+  }
+}
+
+}  // namespace ambb::hs

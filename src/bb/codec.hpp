@@ -1,0 +1,46 @@
+// Canonical byte encodings for every protocol message type.
+//
+// The simulator does not marshal on its hot path (message structs are
+// moved directly, and costs come from the bit-exact WireModel); these
+// codecs make the protocols deployable over a byte transport and pin the
+// wire format with round-trip tests. Decoders validate enum ranges and
+// lengths and throw CheckError on malformed input — a real receiver must
+// never trust a Byzantine peer's bytes.
+#pragma once
+
+#include "bb/dolev_strong.hpp"
+#include "bb/hotstuff_demo.hpp"
+#include "bb/linear_bb.hpp"
+#include "bb/phase_king.hpp"
+#include "bb/trustcast.hpp"
+#include "common/byte_buf.hpp"
+
+namespace ambb::linear {
+void encode(const Msg& m, Encoder& e);
+Msg decode(Decoder& d);
+bool operator==(const Msg& a, const Msg& b);
+}  // namespace ambb::linear
+
+namespace ambb::quad {
+void encode(const Msg& m, Encoder& e);
+Msg decode(Decoder& d);
+bool operator==(const Msg& a, const Msg& b);
+}  // namespace ambb::quad
+
+namespace ambb::ds {
+void encode(const Msg& m, Encoder& e);
+Msg decode(Decoder& d);
+bool operator==(const Msg& a, const Msg& b);
+}  // namespace ambb::ds
+
+namespace ambb::pk {
+void encode(const Msg& m, Encoder& e);
+Msg decode(Decoder& d);
+bool operator==(const Msg& a, const Msg& b);
+}  // namespace ambb::pk
+
+namespace ambb::hs {
+void encode(const Msg& m, Encoder& e);
+Msg decode(Decoder& d);
+bool operator==(const Msg& a, const Msg& b);
+}  // namespace ambb::hs

@@ -1,0 +1,35 @@
+// Byzantine adversary strategies for Algorithm 4, covering the worst cases
+// analysed in Section 4.2 plus a strongly-adaptive after-the-fact removal
+// demonstration.
+//
+// Specs accepted by make_adversary():
+//   "none"          no corruptions (failure-free baseline)
+//   "silent"        corrupt nodes never send: forces accusations and
+//                   corrupt-proofs; exercises the expensive-slot path
+//   "equivocate"    corrupt leaders propose two conflicting values
+//   "selective"     corrupt leaders run the epoch honestly but withhold
+//                   the commit-proof from a rotating subset and never
+//                   answer queries: exercises Query/Respond-1/2
+//   "flood"         corrupt nodes spam fresh accusations + query2 every
+//                   epoch until they run out of nodes to accuse
+//                   (the bounded Respond-2 attack of Section 4.2)
+//   "mixed"         round-robin mix of the strategies above — used as the
+//                   worst-case-style adversary for Table 1
+//   "adaptive-erase" starts with zero corruptions; corrupts the slot-1
+//                   sender after seeing its proposal and erases the copies
+//                   sent to odd-numbered nodes (after-the-fact removal)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "bb/linear_bb.hpp"
+
+namespace ambb::linear {
+
+/// Returns nullptr for "none". Throws CheckError on an unknown spec.
+std::unique_ptr<Adversary<Msg>> make_adversary(const std::string& spec,
+                                               const Context* ctx,
+                                               std::uint64_t seed);
+
+}  // namespace ambb::linear

@@ -1,0 +1,229 @@
+#include "bb/quadratic_bb.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ambb::quad {
+
+QuadNode::QuadNode(NodeId id, const Context* ctx,
+                   std::unique_ptr<Deviation> deviation)
+    : id_(id),
+      ctx_(ctx),
+      dev_(std::move(deviation)),
+      engine_(id, ctx),
+      voted_(ctx->n),
+      vote_seen_(ctx->n, BitVec(ctx->n)),
+      vote_forwarded_(ctx->n, BitVec(ctx->n)),
+      vote_sigs_(ctx->n) {}
+
+Msg QuadNode::build_prop(Value v) const {
+  Msg m;
+  m.kind = Kind::kProp;
+  m.slot = cur_slot_;
+  m.value = v;
+  m.sig = ctx_->registry->sign(id_, prop_digest(cur_slot_, v));
+  return m;
+}
+
+void QuadNode::out_multicast(RoundApi<Msg>& api, const Msg& m, Round r,
+                             std::uint32_t offset) {
+  if (dev_ == nullptr) {
+    api.multicast(m);
+    return;
+  }
+  for (NodeId v = 0; v < ctx_->n; ++v) {
+    if (!dev_->drop_send(r, offset, m.kind, v)) api.send(v, m);
+  }
+}
+
+void QuadNode::vote_corrupt(NodeId target, RoundApi<Msg>& api) {
+  if (voted_.get(target)) return;
+  voted_.set(target);
+  Msg m;
+  m.kind = Kind::kCorrupt;
+  m.slot = cur_slot_;
+  m.accused = target;
+  m.sig = ctx_->registry->sign(id_, corrupt_digest(target));
+  // Record our own vote so the tau-counting sees it immediately.
+  if (!vote_seen_[target].get(id_)) {
+    vote_seen_[target].set(id_);
+    vote_sigs_[target].push_back(m.sig);
+  }
+  vote_forwarded_[target].set(id_);
+  api.multicast(m);
+}
+
+void QuadNode::on_round(Round r, std::span<const Envelope<Msg>> inbox,
+                        std::span<const Envelope<Msg>> rushed,
+                        RoundApi<Msg>& api) {
+  (void)rushed;
+  const Schedule& sched = ctx_->sched;
+  const Slot k = sched.slot_of(r);
+  const std::uint32_t offset = sched.offset_of(r);
+  const std::uint32_t n = ctx_->n;
+  const std::uint32_t f = ctx_->f;
+
+  if (k != cur_slot_) {
+    cur_slot_ = k;
+    engine_.begin_slot(k);
+  }
+
+  if (dev_ != nullptr && dev_->silent(r)) return;
+
+  const NodeId sender = engine_.slot_sender();
+
+  // Inbox processing: TrustCast machinery runs in every round of the slot
+  // (removals keep flowing during the DS phase — transferability needs
+  // it); corrupt votes are recorded here.
+  for (const auto& env : inbox) {
+    const Msg& m = env.msg;
+    if (m.kind == Kind::kCorrupt) {
+      const NodeId voter = m.sig.signer;
+      const NodeId target = m.accused;
+      if (voter >= n || target >= n) continue;
+      if (vote_seen_[target].get(voter)) continue;
+      if (!ctx_->registry->verify(m.sig, corrupt_digest(target))) continue;
+      vote_seen_[target].set(voter);
+      vote_sigs_[target].push_back(m.sig);
+    } else {
+      const bool allow_send =
+          dev_ == nullptr || !dev_->suppress_engine_sends(r, offset);
+      engine_.handle(m, api, allow_send);
+    }
+  }
+
+  if (offset == 0) {
+    if (id_ == sender) {
+      if (dev_ != nullptr && dev_->override_send(*this, api)) {
+        // handled by the deviation
+      } else {
+        engine_.send_proposal(api);
+      }
+    }
+  } else if (offset >= 1 && offset <= n) {
+    engine_.tc_round_action(offset, api);
+  } else {
+    // Dolev-Strong phase: tau in [0, f+1].
+    const std::uint32_t tau = offset - (n + 1);
+    if (tau == 0) {
+      if (!engine_.sender_present()) vote_corrupt(sender, api);
+    } else {
+      if (!engine_.sender_present() &&
+          vote_seen_[sender].count() >= tau) {
+        // Forward every vote we have not forwarded yet (each is a
+        // distinct <corrupt, S_k>_w, shared across slots), then our own.
+        for (std::size_t idx = 0; idx < vote_sigs_[sender].size(); ++idx) {
+          const Signature& sig = vote_sigs_[sender][idx];
+          if (vote_forwarded_[sender].get(sig.signer)) continue;
+          vote_forwarded_[sender].set(sig.signer);
+          Msg m;
+          m.kind = Kind::kCorrupt;
+          m.slot = cur_slot_;
+          m.accused = sender;
+          m.sig = sig;
+          out_multicast(api, m, r, offset);
+        }
+        vote_corrupt(sender, api);
+      }
+    }
+    // Commit at the end of the last round of the slot.
+    if (offset == n + f + 2) {
+      if (!ctx_->commits->has(id_, k)) {
+        Value v = kBotValue;
+        if (!voted_.get(sender)) {
+          auto rv = engine_.received_value();
+          // TrustCast termination guarantees an honest node that never
+          // voted holds exactly one sender value. A Byzantine actor
+          // replaying this logic (deviation attached) may not.
+          AMBB_CHECK_MSG(rv.has_value() || dev_ != nullptr,
+                         "node " << id_ << " slot " << k
+                                 << ": no corrupt vote but no value either");
+          v = rv.value_or(kBotValue);
+        }
+        ctx_->commits->record(id_, k, v, r);
+      }
+    }
+  }
+
+  if (dev_ != nullptr) dev_->extra(*this, r, offset, api);
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+RunResult run_quadratic(const QuadConfig& cfg) {
+  AMBB_CHECK_MSG(cfg.n >= 3, "need at least 3 nodes");
+  AMBB_CHECK_MSG(cfg.f < cfg.n, "Algorithm 5.2 requires f < n");
+
+  KeyRegistry registry(cfg.n, cfg.seed);
+  CommitLog commits(cfg.n);
+  CostLedger ledger(kind_names());
+
+  Context ctx;
+  ctx.n = cfg.n;
+  ctx.f = cfg.f;
+  ctx.wire = WireModel{cfg.n, cfg.kappa_bits, cfg.value_bits};
+  ctx.sched = Schedule{cfg.n, cfg.f};
+  ctx.registry = &registry;
+  ctx.commits = &commits;
+  const std::uint64_t input_seed = cfg.seed ^ 0x5EEDF00DULL;
+  ctx.input_for_slot = cfg.input_for_slot
+                           ? cfg.input_for_slot
+                           : [input_seed](Slot s) {
+                               std::uint64_t x = input_seed + s;
+                               return splitmix64(x);
+                             };
+  ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
+    return static_cast<NodeId>((s - 1) % n);
+  };
+
+  Accounting<Msg> acc;
+  acc.size_bits = [wire = ctx.wire](const Msg& m) {
+    return size_bits(m, wire);
+  };
+  acc.kind = [](const Msg& m) { return static_cast<MsgKind>(m.kind); };
+  acc.slot = [sched = ctx.sched](const Msg& m, Round r) {
+    return m.slot != 0 ? m.slot : sched.slot_of(r);
+  };
+
+  Simulation<Msg> sim(cfg.n, cfg.f, &ledger, acc);
+  for (NodeId v = 0; v < cfg.n; ++v) {
+    sim.set_actor(v, std::make_unique<QuadNode>(v, &ctx));
+  }
+  auto adversary =
+      make_quad_adversary(cfg.adversary, &ctx, cfg.seed ^ 0xAD7E25A1ULL);
+  if (adversary != nullptr) sim.bind_adversary(adversary.get());
+
+  const std::uint64_t total_rounds =
+      static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
+  for (std::uint64_t i = 0; i < total_rounds; ++i) {
+    sim.step();
+    if (cfg.on_round_end) cfg.on_round_end(sim.now() - 1, sim);
+  }
+  if (cfg.inspect) cfg.inspect(sim);
+
+  RunResult res;
+  res.n = cfg.n;
+  res.f = cfg.f;
+  res.slots = cfg.slots;
+  res.rounds = sim.now();
+  res.honest_bits = ledger.honest_bits_total();
+  res.adversary_bits = ledger.adversary_bits_total();
+  res.honest_msgs = ledger.honest_msgs_total();
+  res.per_slot_bits = ledger.per_slot();
+  res.kind_names = ledger.kind_names();
+  res.per_kind_bits = ledger.per_kind();
+  res.commits = commits;
+  res.corrupt.resize(cfg.n);
+  for (NodeId v = 0; v < cfg.n; ++v) res.corrupt[v] = sim.is_corrupt(v);
+  res.senders.resize(cfg.slots + 1, kNoNode);
+  res.sender_inputs.resize(cfg.slots + 1, kBotValue);
+  for (Slot s = 1; s <= cfg.slots; ++s) {
+    res.senders[s] = ctx.sender_of(s);
+    res.sender_inputs[s] = ctx.input_for_slot(s);
+  }
+  return res;
+}
+
+}  // namespace ambb::quad

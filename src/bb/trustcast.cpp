@@ -1,0 +1,178 @@
+#include "bb/trustcast.hpp"
+
+#include <algorithm>
+
+#include "common/byte_buf.hpp"
+#include "common/check.hpp"
+
+namespace ambb::quad {
+
+const char* kind_name(Kind k) {
+  switch (k) {
+    case Kind::kProp: return "prop";
+    case Kind::kAccuse: return "accuse";
+    case Kind::kCorrupt: return "corrupt";
+    case Kind::kKindCount: break;
+  }
+  return "?";
+}
+
+std::vector<std::string> kind_names() {
+  std::vector<std::string> out;
+  for (MsgKind k = 0; k < static_cast<MsgKind>(Kind::kKindCount); ++k) {
+    out.push_back(kind_name(static_cast<Kind>(k)));
+  }
+  return out;
+}
+
+std::uint64_t size_bits(const Msg& m, const WireModel& wire) {
+  std::uint64_t bits = wire.header_bits();
+  switch (m.kind) {
+    case Kind::kProp:
+      bits += wire.value_bits + wire.sig_bits();
+      break;
+    case Kind::kAccuse:
+    case Kind::kCorrupt:
+      bits += wire.id_bits() + wire.sig_bits();
+      break;
+    case Kind::kKindCount:
+      AMBB_CHECK(false);
+  }
+  return bits;
+}
+
+Digest prop_digest(Slot k, Value v) {
+  Encoder e;
+  e.put_tag("tc-prop");
+  e.put_u32(k);
+  e.put_u64(v);
+  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
+                                                    e.bytes().size()));
+}
+
+Digest accuse_digest(NodeId accused) {
+  Encoder e;
+  e.put_tag("tc-accuse");
+  e.put_u32(accused);
+  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
+                                                    e.bytes().size()));
+}
+
+Digest corrupt_digest(NodeId target) {
+  Encoder e;
+  e.put_tag("tc-corrupt");
+  e.put_u32(target);
+  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
+                                                    e.bytes().size()));
+}
+
+TrustCastEngine::TrustCastEngine(NodeId id, const Context* ctx)
+    : id_(id),
+      ctx_(ctx),
+      graph_(ctx->n),
+      accuse_sent_seen_(ctx->n, BitVec(ctx->n)) {}
+
+void TrustCastEngine::begin_slot(Slot k) {
+  slot_ = k;
+  sender_ = ctx_->sender_of(k);
+  prop_values_.clear();
+  props_forwarded_ = 0;
+}
+
+std::optional<Value> TrustCastEngine::received_value() const {
+  if (prop_values_.size() == 1) return prop_values_[0];
+  return std::nullopt;
+}
+
+void TrustCastEngine::remove_edge_and_prune(NodeId a, NodeId b) {
+  graph_.remove_edge(a, b);
+  graph_.prune_unconnected(id_);
+}
+
+void TrustCastEngine::issue_accuse(NodeId v, RoundApi<Msg>& api) {
+  if (accuse_sent_seen_[id_].get(v)) return;
+  accuse_sent_seen_[id_].set(v);
+  remove_edge_and_prune(id_, v);
+  Msg m;
+  m.kind = Kind::kAccuse;
+  m.slot = slot_;
+  m.accused = v;
+  m.sig = ctx_->registry->sign(id_, accuse_digest(v));
+  api.multicast(m);
+}
+
+void TrustCastEngine::send_proposal(RoundApi<Msg>& api) {
+  AMBB_CHECK(id_ == sender_);
+  Msg m;
+  m.kind = Kind::kProp;
+  m.slot = slot_;
+  m.value = ctx_->input_for_slot(slot_);
+  m.sig = ctx_->registry->sign(id_, prop_digest(slot_, m.value));
+  prop_values_.push_back(m.value);
+  ++props_forwarded_;
+  api.multicast(m);
+}
+
+void TrustCastEngine::handle(const Msg& m, RoundApi<Msg>& api,
+                             bool allow_send) {
+  switch (m.kind) {
+    case Kind::kProp: {
+      if (m.slot != slot_) return;
+      if (m.sig.signer != sender_) return;
+      if (!ctx_->registry->verify(m.sig, prop_digest(m.slot, m.value)))
+        return;
+      if (std::find(prop_values_.begin(), prop_values_.end(), m.value) !=
+          prop_values_.end()) {
+        return;  // already known
+      }
+      prop_values_.push_back(m.value);
+      // Forward each of the (at most two) distinct sender messages once.
+      if (props_forwarded_ < 2 && allow_send) {
+        ++props_forwarded_;
+        api.multicast(m);
+      }
+      if (prop_values_.size() >= 2 && graph_.has_vertex(sender_) &&
+          sender_ != id_) {
+        // Equivocation: remove the sender outright.
+        graph_.remove_vertex(sender_);
+        graph_.prune_unconnected(id_);
+      }
+      break;
+    }
+    case Kind::kAccuse: {
+      const NodeId accuser = m.sig.signer;
+      const NodeId accused = m.accused;
+      if (accuser >= ctx_->n || accused >= ctx_->n || accuser == accused)
+        return;
+      if (accuse_sent_seen_[accuser].get(accused)) return;  // duplicate
+      if (!ctx_->registry->verify(m.sig, accuse_digest(accused))) return;
+      accuse_sent_seen_[accuser].set(accused);
+      remove_edge_and_prune(accuser, accused);
+      // Forward once per (accuser, accused) pair, ever.
+      if (allow_send) {
+        Msg fwd = m;
+        fwd.slot = slot_;
+        api.multicast(fwd);
+      }
+      break;
+    }
+    case Kind::kCorrupt:
+      break;  // Dolev-Strong phase messages handled by the caller
+    case Kind::kKindCount:
+      AMBB_CHECK(false);
+  }
+}
+
+void TrustCastEngine::tc_round_action(std::uint32_t t, RoundApi<Msg>& api) {
+  AMBB_CHECK(t >= 1);
+  if (!prop_values_.empty()) return;  // received something from the sender
+  if (!graph_.has_vertex(sender_)) return;
+  const auto dist = graph_.distances_from(sender_);
+  for (NodeId v = 0; v < ctx_->n; ++v) {
+    if (v == id_ || !graph_.has_vertex(v)) continue;
+    if (dist[v] < t) issue_accuse(v, api);
+  }
+  graph_.prune_unconnected(id_);
+}
+
+}  // namespace ambb::quad

@@ -1,0 +1,60 @@
+#include "common/byte_buf.hpp"
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+void Encoder::put_u16(std::uint16_t v) {
+  put_u8(static_cast<std::uint8_t>(v >> 8));
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void Encoder::put_u32(std::uint32_t v) {
+  put_u16(static_cast<std::uint16_t>(v >> 16));
+  put_u16(static_cast<std::uint16_t>(v));
+}
+
+void Encoder::put_u64(std::uint64_t v) {
+  put_u32(static_cast<std::uint32_t>(v >> 32));
+  put_u32(static_cast<std::uint32_t>(v));
+}
+
+void Encoder::put_bytes(std::span<const std::uint8_t> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Encoder::put_tag(std::string_view tag) {
+  // Length-prefixed so distinct tag sequences cannot collide.
+  put_u16(static_cast<std::uint16_t>(tag.size()));
+  for (char c : tag) put_u8(static_cast<std::uint8_t>(c));
+}
+
+std::uint8_t Decoder::get_u8() {
+  AMBB_CHECK_MSG(pos_ < buf_.size(), "decoder underrun");
+  return buf_[pos_++];
+}
+
+std::uint16_t Decoder::get_u16() {
+  std::uint16_t hi = get_u8();
+  return static_cast<std::uint16_t>(hi << 8 | get_u8());
+}
+
+std::uint32_t Decoder::get_u32() {
+  std::uint32_t hi = get_u16();
+  return hi << 16 | get_u16();
+}
+
+std::uint64_t Decoder::get_u64() {
+  std::uint64_t hi = get_u32();
+  return hi << 32 | get_u32();
+}
+
+std::vector<std::uint8_t> Decoder::get_bytes(std::size_t len) {
+  AMBB_CHECK_MSG(pos_ + len <= buf_.size(), "decoder underrun");
+  std::vector<std::uint8_t> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return out;
+}
+
+}  // namespace ambb

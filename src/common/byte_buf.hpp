@@ -1,0 +1,54 @@
+// Canonical byte encoding used to derive signing digests and wire sizes.
+//
+// Every signed object in the protocols is encoded through an Encoder before
+// being hashed; this guarantees that two semantically different messages
+// never produce the same digest (all fields are length/width-explicit,
+// big-endian).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ambb {
+
+class Encoder {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+  void put_u16(std::uint16_t v);
+  void put_u32(std::uint32_t v);
+  void put_u64(std::uint64_t v);
+  void put_bytes(std::span<const std::uint8_t> bytes);
+  /// Tag strings disambiguate message kinds inside digests ("vote", ...).
+  void put_tag(std::string_view tag);
+
+  const std::vector<std::uint8_t>& bytes() const { return buf_; }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Matching decoder; used by codec round-trip tests and by components that
+/// genuinely re-parse (e.g. signature-chain validation in Dolev-Strong).
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::uint8_t> bytes) : buf_(bytes) {}
+
+  std::uint8_t get_u8();
+  std::uint16_t get_u16();
+  std::uint32_t get_u32();
+  std::uint64_t get_u64();
+  std::vector<std::uint8_t> get_bytes(std::size_t len);
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ambb

@@ -1,0 +1,44 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// AMBB_CHECK is always on (also in release builds): the simulator is a
+// measurement instrument and silent state corruption would invalidate every
+// number it reports. Violations throw so tests can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace ambb {
+
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "AMBB_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace ambb
+
+#define AMBB_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr))                                                      \
+      ::ambb::detail::check_fail(#expr, __FILE__, __LINE__, "");      \
+  } while (0)
+
+#define AMBB_CHECK_MSG(expr, msg)                                     \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      std::ostringstream os_;                                         \
+      os_ << msg;                                                     \
+      ::ambb::detail::check_fail(#expr, __FILE__, __LINE__, os_.str()); \
+    }                                                                 \
+  } while (0)

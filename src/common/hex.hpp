@@ -1,0 +1,14 @@
+// Hex formatting helpers (mainly for test vectors and debug output).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ambb {
+
+std::string to_hex(std::span<const std::uint8_t> bytes);
+std::vector<std::uint8_t> from_hex(const std::string& hex);
+
+}  // namespace ambb

@@ -1,0 +1,80 @@
+#include "common/rng.hpp"
+
+namespace ambb {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  AMBB_CHECK(bound > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = bound * ((~std::uint64_t{0}) / bound);
+  std::uint64_t x;
+  do {
+    x = next_u64();
+  } while (x >= limit);
+  return x % bound;
+}
+
+std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) {
+  AMBB_CHECK(lo <= hi);
+  return lo + uniform(hi - lo + 1);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::vector<std::uint64_t> Rng::sample_distinct(std::uint64_t bound,
+                                                std::size_t k) {
+  AMBB_CHECK(k <= bound);
+  // Floyd's algorithm: O(k) expected draws, then shuffle for random order.
+  std::vector<std::uint64_t> out;
+  out.reserve(k);
+  for (std::uint64_t j = bound - k; j < bound; ++j) {
+    std::uint64_t t = uniform(j + 1);
+    bool dup = false;
+    for (auto v : out) {
+      if (v == t) {
+        dup = true;
+        break;
+      }
+    }
+    out.push_back(dup ? j : t);
+  }
+  shuffle(out);
+  return out;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+}  // namespace ambb

@@ -1,0 +1,57 @@
+// Deterministic pseudo-random generation.
+//
+// All randomness in the library flows through Rng so that every experiment
+// is reproducible from a single 64-bit seed. We use xoshiro256** seeded via
+// SplitMix64, the standard recommendation of Blackman & Vigna.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform 64-bit word.
+  std::uint64_t next_u64();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// k distinct values sampled uniformly from [0, bound), in random order.
+  std::vector<std::uint64_t> sample_distinct(std::uint64_t bound,
+                                             std::size_t k);
+
+  /// Derive an independent child generator (for per-node / per-module use).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace ambb

@@ -1,0 +1,17 @@
+// HMAC-SHA256 (RFC 2104). The simulated signature schemes derive their
+// authenticity from HMACs under keys held by the in-simulator PKI registry.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "crypto/sha256.hpp"
+
+namespace ambb {
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> message);
+
+Digest hmac_sha256(const Digest& key, const Digest& message);
+
+}  // namespace ambb

@@ -1,0 +1,43 @@
+#include "crypto/multisig.hpp"
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+namespace {
+void xor_into(Digest& a, const Digest& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+}
+}  // namespace
+
+MultiSigScheme::MultiSigScheme(const KeyRegistry& registry)
+    : registry_(&registry) {}
+
+MultiSig MultiSigScheme::empty() const {
+  return MultiSig{BitVec(registry_->n()), Digest{}};
+}
+
+Digest MultiSigScheme::piece(NodeId i, const Digest& d) const {
+  return registry_->mac_as(i, "msig", d);
+}
+
+MultiSig MultiSigScheme::extend(const MultiSig& ms, NodeId i,
+                                const Digest& d) const {
+  AMBB_CHECK(i < registry_->n());
+  AMBB_CHECK_MSG(!ms.signers.get(i), "signer already present in aggregate");
+  MultiSig out = ms;
+  out.signers.set(i);
+  xor_into(out.agg, piece(i, d));
+  return out;
+}
+
+bool MultiSigScheme::verify(const MultiSig& ms, const Digest& d) const {
+  if (ms.signers.size() != registry_->n()) return false;
+  Digest expect{};
+  for (auto i : ms.signers.ones()) {
+    xor_into(expect, piece(static_cast<NodeId>(i), d));
+  }
+  return expect == ms.agg;
+}
+
+}  // namespace ambb

@@ -1,0 +1,47 @@
+// Simulated multi-signature scheme.
+//
+// An aggregate of k individual signatures on the same digest is a single
+// kappa-bit object plus an n-bit signer bitmap (the usual BLS-multisig
+// size model, used by Table 1's Dolev-Strong-with-multisig row). We
+// simulate aggregation as the XOR of the individual MACs; verification
+// recomputes each named signer's MAC through the registry. Aggregates can
+// be extended one signer at a time, which is what Dolev-Strong needs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bitvec.hpp"
+#include "common/types.hpp"
+#include "crypto/signer.hpp"
+
+namespace ambb {
+
+struct MultiSig {
+  BitVec signers;  ///< bitmap over [0, n)
+  Digest agg{};    ///< XOR-aggregate of individual MACs
+
+  std::size_t signer_count() const { return signers.count(); }
+};
+
+class MultiSigScheme {
+ public:
+  explicit MultiSigScheme(const KeyRegistry& registry);
+
+  /// Empty aggregate (no signers).
+  MultiSig empty() const;
+
+  /// Individual contribution of node i on digest d.
+  Digest piece(NodeId i, const Digest& d) const;
+
+  /// Return `ms` extended with node i's signature; i must not already be
+  /// in the aggregate.
+  MultiSig extend(const MultiSig& ms, NodeId i, const Digest& d) const;
+
+  bool verify(const MultiSig& ms, const Digest& d) const;
+
+ private:
+  const KeyRegistry* registry_;
+};
+
+}  // namespace ambb

@@ -1,0 +1,80 @@
+#include "crypto/serialize.hpp"
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+void encode_digest(const Digest& d, Encoder& e) {
+  e.put_bytes(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+Digest decode_digest(Decoder& d) {
+  auto bytes = d.get_bytes(32);
+  Digest out;
+  std::copy(bytes.begin(), bytes.end(), out.begin());
+  return out;
+}
+
+void encode_signature(const Signature& s, Encoder& e) {
+  e.put_u32(s.signer);
+  encode_digest(s.mac, e);
+}
+
+Signature decode_signature(Decoder& d) {
+  Signature s;
+  s.signer = d.get_u32();
+  s.mac = decode_digest(d);
+  return s;
+}
+
+void encode_share(const SigShare& s, Encoder& e) {
+  e.put_u32(s.signer);
+  encode_digest(s.mac, e);
+}
+
+SigShare decode_share(Decoder& d) {
+  SigShare s;
+  s.signer = d.get_u32();
+  s.mac = decode_digest(d);
+  return s;
+}
+
+void encode_thsig(const ThresholdSig& s, Encoder& e) {
+  encode_digest(s.mac, e);
+}
+
+ThresholdSig decode_thsig(Decoder& d) { return ThresholdSig{decode_digest(d)}; }
+
+void encode_bitvec(const BitVec& b, Encoder& e) {
+  e.put_u32(static_cast<std::uint32_t>(b.size()));
+  for (auto w : b.words()) e.put_u64(w);
+}
+
+BitVec decode_bitvec(Decoder& d) {
+  const std::uint32_t n = d.get_u32();
+  AMBB_CHECK_MSG(n <= 1u << 20, "implausible bitvec size");
+  BitVec out(n);
+  const std::size_t words = (n + 63) / 64;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t w = d.get_u64();
+    for (int b = 0; b < 64; ++b) {
+      const std::size_t idx = i * 64 + static_cast<std::size_t>(b);
+      if (idx < n && ((w >> b) & 1)) out.set(idx);
+    }
+  }
+  return out;
+}
+
+void encode_multisig(const MultiSig& m, Encoder& e) {
+  encode_bitvec(m.signers, e);
+  encode_digest(m.agg, e);
+}
+
+MultiSig decode_multisig(Decoder& d) {
+  MultiSig m;
+  m.signers = decode_bitvec(d);
+  m.agg = decode_digest(d);
+  return m;
+}
+
+}  // namespace ambb

@@ -1,0 +1,37 @@
+// Byte-level serialization of the cryptographic objects.
+//
+// The simulator hands message structs across directly (no marshalling on
+// the hot path), while the paper's cost metric uses the bit-exact
+// WireModel. These codecs exist so the library is deployable over a real
+// byte transport: every protocol message has a canonical byte encoding
+// (see bb/codec.hpp) built on the primitives here, with round-trip
+// equality guaranteed by tests.
+#pragma once
+
+#include "common/bitvec.hpp"
+#include "common/byte_buf.hpp"
+#include "crypto/multisig.hpp"
+#include "crypto/signer.hpp"
+#include "crypto/threshold.hpp"
+
+namespace ambb {
+
+void encode_digest(const Digest& d, Encoder& e);
+Digest decode_digest(Decoder& d);
+
+void encode_signature(const Signature& s, Encoder& e);
+Signature decode_signature(Decoder& d);
+
+void encode_share(const SigShare& s, Encoder& e);
+SigShare decode_share(Decoder& d);
+
+void encode_thsig(const ThresholdSig& s, Encoder& e);
+ThresholdSig decode_thsig(Decoder& d);
+
+void encode_bitvec(const BitVec& b, Encoder& e);
+BitVec decode_bitvec(Decoder& d);
+
+void encode_multisig(const MultiSig& m, Encoder& e);
+MultiSig decode_multisig(Decoder& d);
+
+}  // namespace ambb

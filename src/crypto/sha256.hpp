@@ -1,0 +1,44 @@
+// SHA-256 (FIPS 180-4), implemented from scratch: the environment has no
+// crypto libraries installed, and the simulated signature schemes below are
+// built on HMAC-SHA256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace ambb {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(const std::string& s);
+
+  /// Finalize and return the digest. The object must not be reused after.
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(std::span<const std::uint8_t> data);
+  static Digest hash(const std::string& s);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// Combine two digests (domain-separated); used to build key hierarchies.
+Digest digest_combine(const Digest& a, const Digest& b);
+
+std::string digest_hex(const Digest& d);
+
+}  // namespace ambb

@@ -1,0 +1,62 @@
+#include "crypto/signer.hpp"
+
+#include "common/byte_buf.hpp"
+#include "common/check.hpp"
+#include "crypto/hmac.hpp"
+
+namespace ambb {
+
+namespace {
+Digest derive_key(const Digest& master, std::uint64_t index) {
+  Encoder e;
+  e.put_tag("ambb-node-key");
+  e.put_u64(index);
+  const Digest d = Sha256::hash(std::span<const std::uint8_t>(
+      e.bytes().data(), e.bytes().size()));
+  return hmac_sha256(master, d);
+}
+
+Digest tag_digest(const char* domain, const Digest& d) {
+  Encoder e;
+  e.put_tag(domain);
+  e.put_bytes(std::span<const std::uint8_t>(d.data(), d.size()));
+  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
+                                                    e.bytes().size()));
+}
+}  // namespace
+
+KeyRegistry::KeyRegistry(std::uint32_t n, std::uint64_t master_seed) : n_(n) {
+  AMBB_CHECK(n >= 1);
+  Encoder e;
+  e.put_tag("ambb-master-key");
+  e.put_u64(master_seed);
+  master_key_ = Sha256::hash(std::span<const std::uint8_t>(
+      e.bytes().data(), e.bytes().size()));
+  node_keys_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    node_keys_.push_back(derive_key(master_key_, i));
+  }
+}
+
+Signature KeyRegistry::sign(NodeId signer, const Digest& d) const {
+  AMBB_CHECK(signer < n_);
+  return Signature{signer, hmac_sha256(node_keys_[signer],
+                                       tag_digest("sig", d))};
+}
+
+bool KeyRegistry::verify(const Signature& sig, const Digest& d) const {
+  if (sig.signer >= n_) return false;
+  return sig.mac == hmac_sha256(node_keys_[sig.signer], tag_digest("sig", d));
+}
+
+Digest KeyRegistry::mac_as(NodeId i, const char* domain,
+                           const Digest& d) const {
+  AMBB_CHECK(i < n_);
+  return hmac_sha256(node_keys_[i], tag_digest(domain, d));
+}
+
+Digest KeyRegistry::master_mac(const char* domain, const Digest& d) const {
+  return hmac_sha256(master_key_, tag_digest(domain, d));
+}
+
+}  // namespace ambb

@@ -1,0 +1,57 @@
+// Simulated digital signatures with a PKI.
+//
+// The environment provides no crypto library, and the paper treats the
+// signature scheme as an ideal primitive, so we simulate it: node i's
+// secret key is derived from a master seed, a signature on digest d is
+// HMAC(sk_i, d), and verification recomputes the MAC through the registry
+// (which models the PKI). Inside the simulation the only way to produce a
+// valid signature is to call sign() as that node, which the adversary can
+// do only for corrupted nodes — exactly the power the paper grants it.
+//
+// DESIGN.md documents this substitution; the properties the reproduction
+// relies on (who can create which object, and its kappa-bit wire size) are
+// preserved exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "crypto/sha256.hpp"
+
+namespace ambb {
+
+struct Signature {
+  NodeId signer = kNoNode;
+  Digest mac{};
+
+  bool operator==(const Signature&) const = default;
+};
+
+class KeyRegistry {
+ public:
+  KeyRegistry(std::uint32_t n, std::uint64_t master_seed);
+
+  std::uint32_t n() const { return n_; }
+
+  /// Sign digest `d` as node `signer`.
+  Signature sign(NodeId signer, const Digest& d) const;
+
+  /// Verify that `sig` is node sig.signer's signature on `d`.
+  bool verify(const Signature& sig, const Digest& d) const;
+
+  /// Raw MAC under node i's key with a domain-separation tag; building
+  /// block for the threshold / multi-signature schemes.
+  Digest mac_as(NodeId i, const char* domain, const Digest& d) const;
+
+  /// Raw MAC under the master (dealer) key; only the threshold combiner
+  /// uses this, through combine() below.
+  Digest master_mac(const char* domain, const Digest& d) const;
+
+ private:
+  std::uint32_t n_;
+  Digest master_key_;
+  std::vector<Digest> node_keys_;
+};
+
+}  // namespace ambb

@@ -1,0 +1,156 @@
+#include "graph/expander.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/bitvec.hpp"
+#include "common/check.hpp"
+
+namespace ambb {
+
+Graph::Graph(std::uint32_t n) : n_(n), adj_(n) { AMBB_CHECK(n >= 2); }
+
+void Graph::add_edge(std::uint32_t u, std::uint32_t v) {
+  AMBB_CHECK(u < n_ && v < n_ && u != v);
+  if (has_edge(u, v)) return;
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+}
+
+bool Graph::has_edge(std::uint32_t u, std::uint32_t v) const {
+  AMBB_CHECK(u < n_ && v < n_);
+  const auto& a = adj_[u].size() <= adj_[v].size() ? adj_[u] : adj_[v];
+  const std::uint32_t target = adj_[u].size() <= adj_[v].size() ? v : u;
+  return std::find(a.begin(), a.end(), target) != a.end();
+}
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t d = 0;
+  for (const auto& a : adj_) d = std::max<std::uint32_t>(d, a.size());
+  return d;
+}
+
+std::uint64_t Graph::edge_count() const {
+  std::uint64_t twice = 0;
+  for (const auto& a : adj_) twice += a.size();
+  return twice / 2;
+}
+
+std::uint32_t Graph::neighborhood_size(
+    const std::vector<std::uint32_t>& s) const {
+  BitVec seen(n_);
+  for (auto u : s) {
+    for (auto v : adj_[u]) seen.set(v);
+  }
+  return static_cast<std::uint32_t>(seen.count());
+}
+
+Graph random_regular_graph(std::uint32_t n, std::uint32_t d, Rng& rng) {
+  AMBB_CHECK(d >= 2 && d < n);
+  Graph g(n);
+  const std::uint32_t cycles = (d + 1) / 2;
+  std::vector<std::uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (std::uint32_t c = 0; c < cycles; ++c) {
+    // Use std::vector<T> shuffle via Rng.
+    std::vector<std::uint32_t> p = perm;
+    rng.shuffle(p);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      g.add_edge(p[i], p[(i + 1) % n]);
+    }
+  }
+  return g;
+}
+
+double second_eigenvalue_estimate(const Graph& g, Rng& rng, int iters) {
+  const std::uint32_t n = g.n();
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.uniform01() - 0.5;
+
+  auto deflate = [&](std::vector<double>& v) {
+    double mean = std::accumulate(v.begin(), v.end(), 0.0) / n;
+    for (auto& e : v) e -= mean;
+  };
+  auto normalize = [&](std::vector<double>& v) {
+    double norm = 0;
+    for (auto e : v) norm += e * e;
+    norm = std::sqrt(norm);
+    if (norm > 0) {
+      for (auto& e : v) e /= norm;
+    }
+    return norm;
+  };
+
+  deflate(x);
+  normalize(x);
+  std::vector<double> y(n);
+  double lambda = 0;
+  for (int it = 0; it < iters; ++it) {
+    // y = A^2 x keeps the iteration converging to |lambda_2| even when the
+    // most negative eigenvalue dominates in magnitude with opposite sign.
+    for (std::uint32_t u = 0; u < n; ++u) {
+      double s = 0;
+      for (auto v : g.neighbors(u)) s += x[v];
+      y[u] = s;
+    }
+    deflate(y);
+    double norm1 = normalize(y);
+    x.swap(y);
+    lambda = norm1;
+  }
+  return lambda;
+}
+
+bool sampled_expansion_check(const Graph& g, double alpha, double beta,
+                             int samples, Rng& rng) {
+  const std::uint32_t n = g.n();
+  const std::size_t set_size =
+      std::max<std::size_t>(1, static_cast<std::size_t>(std::ceil(alpha * n)));
+  if (set_size > n) return false;
+  const double need = beta * n;
+  for (int s = 0; s < samples; ++s) {
+    auto picks = rng.sample_distinct(n, set_size);
+    std::vector<std::uint32_t> set(picks.begin(), picks.end());
+    if (static_cast<double>(g.neighborhood_size(set)) <= need) return false;
+  }
+  return true;
+}
+
+Graph build_expander(std::uint32_t n, double eps, std::uint64_t seed,
+                     int samples) {
+  AMBB_CHECK(eps > 0 && eps < 0.5);
+  const double alpha = 2 * eps;
+  const double beta = 1 - 2 * eps;
+  // Start from a degree that makes random regular graphs comfortably pass
+  // the (alpha, beta) sampled expansion test; escalate if needed. The
+  // required degree grows as beta -> 1, i.e. as eps -> 0.
+  std::uint32_t d =
+      std::max<std::uint32_t>(8, static_cast<std::uint32_t>(4.0 / eps));
+  if (d >= n - 1) {
+    // Small n: the complete graph is the best possible expander
+    // (|N(S)| >= n - 1 for every nonempty S).
+    Graph g(n);
+    for (std::uint32_t u = 0; u < n; ++u) {
+      for (std::uint32_t v = u + 1; v < n; ++v) g.add_edge(u, v);
+    }
+    Rng check_rng(seed);
+    AMBB_CHECK_MSG(sampled_expansion_check(g, alpha, beta, samples,
+                                           check_rng),
+                   "n=" << n << " too small for eps=" << eps);
+    return g;
+  }
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint32_t deg = std::min(d, n - 1);
+    Rng rng(seed ^ (0x9e3779b97f4a7c15ULL * (attempt + 1)));
+    Graph g = random_regular_graph(n, deg, rng);
+    Rng check_rng = rng.fork();
+    if (sampled_expansion_check(g, alpha, beta, samples, check_rng)) return g;
+    if (attempt % 4 == 3 && deg < n - 1) {
+      d += std::max<std::uint32_t>(2, d / 4);
+    }
+  }
+  AMBB_CHECK_MSG(false, "no expander found for n=" << n << " eps=" << eps);
+}
+
+}  // namespace ambb

@@ -1,0 +1,99 @@
+#include "graph/trust_graph.hpp"
+
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+TrustGraph::TrustGraph(std::uint32_t n)
+    : n_(n), present_(n, true), adj_(n, BitVec(n, true)) {
+  AMBB_CHECK(n >= 1);
+  for (std::uint32_t v = 0; v < n; ++v) adj_[v].reset(v);  // no self-loops
+}
+
+bool TrustGraph::has_vertex(NodeId v) const {
+  AMBB_CHECK(v < n_);
+  return present_.get(v);
+}
+
+bool TrustGraph::has_edge(NodeId u, NodeId v) const {
+  AMBB_CHECK(u < n_ && v < n_);
+  return present_.get(u) && present_.get(v) && adj_[u].get(v);
+}
+
+void TrustGraph::remove_edge(NodeId u, NodeId v) {
+  AMBB_CHECK(u < n_ && v < n_);
+  if (u == v) return;
+  adj_[u].reset(v);
+  adj_[v].reset(u);
+}
+
+void TrustGraph::remove_vertex(NodeId v) {
+  AMBB_CHECK(v < n_);
+  present_.reset(v);
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    adj_[u].reset(v);
+    adj_[v].reset(u);
+  }
+}
+
+std::uint32_t TrustGraph::vertex_count() const {
+  return static_cast<std::uint32_t>(present_.count());
+}
+
+std::uint64_t TrustGraph::edge_count() const {
+  std::uint64_t twice = 0;
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    if (present_.get(v)) twice += adj_[v].count();
+  }
+  return twice / 2;
+}
+
+std::vector<std::uint32_t> TrustGraph::distances_from(NodeId src) const {
+  AMBB_CHECK(src < n_);
+  std::vector<std::uint32_t> dist(n_, kUnreachable);
+  if (!present_.get(src)) return dist;
+  dist[src] = 0;
+  std::deque<NodeId> queue{src};
+  while (!queue.empty()) {
+    NodeId u = queue.front();
+    queue.pop_front();
+    for (auto vi : adj_[u].ones()) {
+      NodeId v = static_cast<NodeId>(vi);
+      if (present_.get(v) && dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  return dist;
+}
+
+void TrustGraph::prune_unconnected(NodeId owner) {
+  AMBB_CHECK(owner < n_);
+  // An honest owner never removes itself; a Byzantine node replaying the
+  // honest logic can (e.g. after equivocating as sender) — tolerate it.
+  if (!present_.get(owner)) return;
+  auto dist = distances_from(owner);
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    if (present_.get(v) && dist[v] == kUnreachable) remove_vertex(v);
+  }
+}
+
+bool TrustGraph::is_subgraph_of(const TrustGraph& other) const {
+  AMBB_CHECK(n_ == other.n_);
+  for (std::uint32_t v = 0; v < n_; ++v) {
+    if (present_.get(v) && !other.present_.get(v)) return false;
+  }
+  for (std::uint32_t u = 0; u < n_; ++u) {
+    if (!present_.get(u)) continue;
+    for (auto vi : adj_[u].ones()) {
+      NodeId v = static_cast<NodeId>(vi);
+      if (present_.get(v) && !other.has_edge(u, v)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ambb

@@ -1,0 +1,56 @@
+// Trust graph for TrustCast (Algorithm 5.1, simplified from Wan et al.).
+//
+// Each node maintains an undirected graph over the n nodes whose edges
+// represent pairwise trust. Edges disappear when accusations are observed;
+// vertices disappear when they become unconnected from the owner. The
+// protocol invariants (transferability / termination / integrity) are
+// properties of how the owning node updates this structure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitvec.hpp"
+#include "common/types.hpp"
+
+namespace ambb {
+
+class TrustGraph {
+ public:
+  /// Complete graph over n vertices.
+  explicit TrustGraph(std::uint32_t n);
+
+  std::uint32_t n() const { return n_; }
+
+  bool has_vertex(NodeId v) const;
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Remove the edge (u, v); no-op if absent or if a vertex is gone.
+  void remove_edge(NodeId u, NodeId v);
+
+  /// Remove vertex v and all incident edges.
+  void remove_vertex(NodeId v);
+
+  std::uint32_t vertex_count() const;
+  std::uint64_t edge_count() const;
+
+  /// BFS hop distances from src over present vertices; kUnreachable for
+  /// unreachable or absent vertices.
+  static constexpr std::uint32_t kUnreachable = 0xffffffff;
+  std::vector<std::uint32_t> distances_from(NodeId src) const;
+
+  /// Remove every vertex with no path to `owner` (TrustCast's rule
+  /// "remove all vertices unconnected with vertex u").
+  void prune_unconnected(NodeId owner);
+
+  /// True iff this graph's vertices and edges are a subset of other's
+  /// (the transferability property quantifies over this relation).
+  bool is_subgraph_of(const TrustGraph& other) const;
+
+ private:
+  std::uint32_t n_;
+  BitVec present_;
+  std::vector<BitVec> adj_;
+};
+
+}  // namespace ambb

@@ -1,0 +1,41 @@
+// Helper shared by all protocol drivers to package a finished simulation
+// into a RunResult.
+#pragma once
+
+#include <functional>
+
+#include "runner/result.hpp"
+#include "sim/cost.hpp"
+
+namespace ambb {
+
+inline RunResult assemble_result(
+    std::uint32_t n, std::uint32_t f, Slot slots, Round rounds,
+    const CostLedger& ledger, const CommitLog& commits,
+    const std::function<bool(NodeId)>& is_corrupt,
+    const std::function<NodeId(Slot)>& sender_of,
+    const std::function<Value(Slot)>& input_for_slot) {
+  RunResult res;
+  res.n = n;
+  res.f = f;
+  res.slots = slots;
+  res.rounds = rounds;
+  res.honest_bits = ledger.honest_bits_total();
+  res.adversary_bits = ledger.adversary_bits_total();
+  res.honest_msgs = ledger.honest_msgs_total();
+  res.per_slot_bits = ledger.per_slot();
+  res.kind_names = ledger.kind_names();
+  res.per_kind_bits = ledger.per_kind();
+  res.commits = commits;
+  res.corrupt.resize(n);
+  for (NodeId v = 0; v < n; ++v) res.corrupt[v] = is_corrupt(v) ? 1 : 0;
+  res.senders.resize(slots + 1, kNoNode);
+  res.sender_inputs.resize(slots + 1, kBotValue);
+  for (Slot s = 1; s <= slots; ++s) {
+    res.senders[s] = sender_of(s);
+    res.sender_inputs[s] = input_for_slot(s);
+  }
+  return res;
+}
+
+}  // namespace ambb

@@ -1,0 +1,36 @@
+#include "runner/fit.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+double ols_slope(const std::vector<double>& x, const std::vector<double>& y) {
+  AMBB_CHECK(x.size() == y.size() && x.size() >= 2);
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  AMBB_CHECK_MSG(denom != 0, "degenerate x values in ols_slope");
+  return (n * sxy - sx * sy) / denom;
+}
+
+double loglog_slope(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  AMBB_CHECK(x.size() == y.size());
+  std::vector<double> lx(x.size()), ly(y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    AMBB_CHECK_MSG(x[i] > 0 && y[i] > 0, "loglog_slope needs positive data");
+    lx[i] = std::log(x[i]);
+    ly[i] = std::log(y[i]);
+  }
+  return ols_slope(lx, ly);
+}
+
+}  // namespace ambb

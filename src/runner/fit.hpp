@@ -1,0 +1,17 @@
+// Least-squares helpers for turning measured cost series into the scaling
+// exponents Table 1 predicts (log-log slope ~= polynomial degree in n).
+#pragma once
+
+#include <vector>
+
+namespace ambb {
+
+/// Ordinary least-squares slope of y against x.
+double ols_slope(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Slope of log(y) against log(x): the empirical scaling exponent of a
+/// series y ~ C * x^a. All inputs must be positive.
+double loglog_slope(const std::vector<double>& x,
+                    const std::vector<double>& y);
+
+}  // namespace ambb

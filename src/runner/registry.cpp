@@ -1,0 +1,195 @@
+#include "runner/registry.hpp"
+
+#include <algorithm>
+
+#include "bb/dolev_strong.hpp"
+#include "bb/hotstuff_demo.hpp"
+#include "bb/linear_bb.hpp"
+#include "bb/phase_king.hpp"
+#include "bb/quadratic_bb.hpp"
+#include "common/check.hpp"
+
+namespace ambb {
+
+namespace {
+
+RunResult run_linear_with(const CommonParams& p, linear::Options opts,
+                          double eps = 0.1) {
+  linear::LinearConfig cfg;
+  cfg.n = p.n;
+  cfg.f = p.f;
+  cfg.slots = p.slots;
+  cfg.seed = p.seed;
+  cfg.eps = eps;
+  cfg.kappa_bits = p.kappa_bits;
+  cfg.value_bits = p.value_bits;
+  cfg.opts = opts;
+  cfg.adversary = p.adversary;
+  return run_linear(cfg);
+}
+
+std::vector<ProtocolInfo> build() {
+  std::vector<ProtocolInfo> out;
+
+  const std::vector<std::string> lin_advs = {
+      "none",  "silent", "equivocate",    "selective", "flood",
+      "mixed", "drop",   "chaos",         "adaptive-erase"};
+  auto lin_max_f = [](std::uint32_t n) {
+    // f <= (1/2 - eps) n with eps = 0.1
+    return static_cast<std::uint32_t>(0.4 * n);
+  };
+
+  out.push_back(ProtocolInfo{
+      "linear",
+      "This work, f <= (1/2-eps)n, amortized O(kn)",
+      lin_advs,
+      lin_max_f,
+      [](const CommonParams& p) {
+        return run_linear_with(p, linear::Options::paper());
+      },
+      {}});
+
+  out.push_back(ProtocolInfo{
+      "mr-baseline",
+      "Momose-Ren style, f <= (1/2-eps)n, O(kn^2) per slot",
+      lin_advs,
+      lin_max_f,
+      [](const CommonParams& p) {
+        return run_linear_with(p, linear::Options::mr_baseline());
+      },
+      {}});
+
+  out.push_back(ProtocolInfo{
+      "linear-nomem",
+      "Ablation: Algorithm 4 without cross-slot accusation memory",
+      lin_advs,
+      lin_max_f,
+      [](const CommonParams& p) {
+        return run_linear_with(p, linear::Options::no_memory());
+      },
+      {}});
+
+  out.push_back(ProtocolInfo{
+      "linear-noquery",
+      "Ablation: Algorithm 4 without the Query/Respond path",
+      lin_advs,
+      lin_max_f,
+      [](const CommonParams& p) {
+        return run_linear_with(p, linear::Options::no_query());
+      },
+      // Without the dissemination path, a selective (or randomly lossy)
+      // leader's partial commit permanently starves the rest (no quorum
+      // remains in later epochs).
+      {"selective", "mixed", "drop", "chaos"}});
+
+  out.push_back(ProtocolInfo{
+      "quadratic",
+      "This work, f < n, amortized O(kn^2)",
+      {"none", "silent", "equivocate", "conspiracy", "lateprop",
+       "floodaccuse", "framer"},
+      [](std::uint32_t n) { return n - 1; },
+      [](const CommonParams& p) {
+        quad::QuadConfig cfg;
+        cfg.n = p.n;
+        cfg.f = p.f;
+        cfg.slots = p.slots;
+        cfg.seed = p.seed;
+        cfg.kappa_bits = p.kappa_bits;
+        cfg.value_bits = p.value_bits;
+        cfg.adversary = p.adversary;
+        return run_quadratic(cfg);
+      },
+      {}});
+
+  out.push_back(ProtocolInfo{
+      "dolev-strong",
+      "Dolev-Strong, f < n, plain signatures, O(kn^3) per slot",
+      {"none", "silent", "equivocate", "stagger"},
+      [](std::uint32_t n) { return n - 1; },
+      [](const CommonParams& p) {
+        ds::DsConfig cfg;
+        cfg.n = p.n;
+        cfg.f = p.f;
+        cfg.slots = p.slots;
+        cfg.seed = p.seed;
+        cfg.use_multisig = false;
+        cfg.kappa_bits = p.kappa_bits;
+        cfg.value_bits = p.value_bits;
+        cfg.adversary = p.adversary;
+        return run_dolev_strong(cfg);
+      },
+      {}});
+
+  out.push_back(ProtocolInfo{
+      "dolev-strong-msig",
+      "Dolev-Strong, f < n, multi-signatures, O(kn^2 + n^3) per slot",
+      {"none", "silent", "equivocate", "stagger"},
+      [](std::uint32_t n) { return n - 1; },
+      [](const CommonParams& p) {
+        ds::DsConfig cfg;
+        cfg.n = p.n;
+        cfg.f = p.f;
+        cfg.slots = p.slots;
+        cfg.seed = p.seed;
+        cfg.use_multisig = true;
+        cfg.kappa_bits = p.kappa_bits;
+        cfg.value_bits = p.value_bits;
+        cfg.adversary = p.adversary;
+        return run_dolev_strong(cfg);
+      },
+      {}});
+
+  out.push_back(ProtocolInfo{
+      "phase-king",
+      "Berman et al. family, f < n/3, no crypto (see DESIGN.md note)",
+      {"none", "silent", "equivocate", "confuse"},
+      [](std::uint32_t n) { return (n - 1) / 3; },
+      [](const CommonParams& p) {
+        pk::PkConfig cfg;
+        cfg.n = p.n;
+        cfg.f = p.f;
+        cfg.slots = p.slots;
+        cfg.seed = p.seed;
+        cfg.kappa_bits = p.kappa_bits;
+        cfg.value_bits = p.value_bits;
+        cfg.adversary = p.adversary;
+        return run_phase_king(cfg);
+      },
+      {}});
+
+  out.push_back(ProtocolInfo{
+      "hotstuff",
+      "Appendix A: HotStuff without a fallback path",
+      {"none", "selective"},
+      [](std::uint32_t n) { return (n - 1) / 3; },
+      [](const CommonParams& p) {
+        hs::HsConfig cfg;
+        cfg.n = p.n;
+        cfg.f = p.f;
+        cfg.slots = p.slots;
+        cfg.seed = p.seed;
+        cfg.kappa_bits = p.kappa_bits;
+        cfg.value_bits = p.value_bits;
+        cfg.adversary = p.adversary;
+        return run_hotstuff_demo(cfg);
+      },
+      {"selective"}});
+
+  return out;
+}
+
+}  // namespace
+
+const std::vector<ProtocolInfo>& protocols() {
+  static const std::vector<ProtocolInfo> kProtocols = build();
+  return kProtocols;
+}
+
+const ProtocolInfo& protocol(const std::string& name) {
+  for (const auto& p : protocols()) {
+    if (p.name == name) return p;
+  }
+  AMBB_CHECK_MSG(false, "unknown protocol '" << name << "'");
+}
+
+}  // namespace ambb

@@ -1,0 +1,40 @@
+// Uniform catalog of every multi-shot BB protocol in the library, so that
+// tests and benchmarks can sweep protocols x adversaries x (n, f, L, seed)
+// without knowing each driver's config type.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runner/result.hpp"
+
+namespace ambb {
+
+struct CommonParams {
+  std::uint32_t n = 16;
+  std::uint32_t f = 4;
+  Slot slots = 8;
+  std::uint64_t seed = 1;
+  std::string adversary = "none";
+  std::uint32_t kappa_bits = kDefaultKappaBits;
+  std::uint32_t value_bits = kDefaultValueBits;
+};
+
+struct ProtocolInfo {
+  std::string name;
+  std::string table1_row;  ///< which Table 1 row this reproduces
+  std::vector<std::string> adversaries;  ///< accepted adversary specs
+  /// Largest f this protocol supports for a given n.
+  std::function<std::uint32_t(std::uint32_t n)> max_f;
+  std::function<RunResult(const CommonParams&)> run;
+  /// Adversary specs under which the protocol MAY violate termination
+  /// (the Appendix A HotStuff demo, and the no-query-path ablation of
+  /// Algorithm 4). Consistency and validity must still hold.
+  std::vector<std::string> known_liveness_failures;
+};
+
+const std::vector<ProtocolInfo>& protocols();
+const ProtocolInfo& protocol(const std::string& name);
+
+}  // namespace ambb

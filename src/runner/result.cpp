@@ -1,0 +1,96 @@
+#include "runner/result.hpp"
+
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+double RunResult::amortized(Slot upto) const {
+  if (upto == 0) upto = slots;
+  AMBB_CHECK(upto >= 1 && upto <= slots);
+  std::uint64_t total = 0;
+  for (Slot k = 1; k <= upto && k < per_slot_bits.size(); ++k) {
+    total += per_slot_bits[k];
+  }
+  return static_cast<double>(total) / upto;
+}
+
+double RunResult::amortized_tail(Slot from) const {
+  AMBB_CHECK(from < slots);
+  std::uint64_t total = 0;
+  for (Slot k = from + 1; k <= slots && k < per_slot_bits.size(); ++k) {
+    total += per_slot_bits[k];
+  }
+  return static_cast<double>(total) / (slots - from);
+}
+
+std::vector<std::string> check_consistency(const RunResult& r) {
+  std::vector<std::string> out;
+  for (Slot k = 1; k <= r.slots; ++k) {
+    Value first = kBotValue;
+    NodeId first_node = kNoNode;
+    bool have = false;
+    for (NodeId v = 0; v < r.n; ++v) {
+      if (!r.is_honest(v) || !r.commits.has(v, k)) continue;
+      const Value val = r.commits.get(v, k).value;
+      if (!have) {
+        have = true;
+        first = val;
+        first_node = v;
+      } else if (val != first) {
+        std::ostringstream os;
+        os << "slot " << k << ": node " << first_node << " committed "
+           << first << " but node " << v << " committed " << val;
+        out.push_back(os.str());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_termination(const RunResult& r) {
+  std::vector<std::string> out;
+  for (Slot k = 1; k <= r.slots; ++k) {
+    for (NodeId v = 0; v < r.n; ++v) {
+      if (!r.is_honest(v)) continue;
+      if (!r.commits.has(v, k)) {
+        std::ostringstream os;
+        os << "slot " << k << ": honest node " << v << " never committed";
+        out.push_back(os.str());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_validity(const RunResult& r) {
+  std::vector<std::string> out;
+  for (Slot k = 1; k <= r.slots; ++k) {
+    const NodeId sender = r.senders[k];
+    if (!r.is_honest(sender)) continue;
+    const Value input = r.sender_inputs[k];
+    for (NodeId v = 0; v < r.n; ++v) {
+      if (!r.is_honest(v) || !r.commits.has(v, k)) continue;
+      const Value val = r.commits.get(v, k).value;
+      if (val != input) {
+        std::ostringstream os;
+        os << "slot " << k << ": honest sender " << sender << " input "
+           << input << " but honest node " << v << " committed " << val;
+        out.push_back(os.str());
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> check_all(const RunResult& r) {
+  std::vector<std::string> out = check_consistency(r);
+  auto t = check_termination(r);
+  out.insert(out.end(), t.begin(), t.end());
+  auto v = check_validity(r);
+  out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace ambb

@@ -1,0 +1,68 @@
+#include "runner/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AMBB_CHECK(!headers_.empty());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  AMBB_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render(int indent) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    width[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << pad;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << cells[c] << std::string(width[c] - cells[c].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (auto w : width) total += w + 2;
+  os << pad << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::bits_human(double bits) {
+  char buf[64];
+  if (bits >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f Gbit", bits / 1e9);
+  } else if (bits >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f Mbit", bits / 1e6);
+  } else if (bits >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f kbit", bits / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.0f bit", bits);
+  }
+  return buf;
+}
+
+}  // namespace ambb

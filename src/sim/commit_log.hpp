@@ -1,0 +1,55 @@
+// Records every commit made by honest nodes so the runner can check the
+// multi-shot BB properties (consistency, termination, validity,
+// sequentiality) after a run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+
+namespace ambb {
+
+struct CommitRecord {
+  Value value = kBotValue;
+  Round round = 0;
+  bool committed = false;
+};
+
+class CommitLog {
+ public:
+  explicit CommitLog(std::uint32_t n) : n_(n) {}
+
+  void record(NodeId node, Slot slot, Value value, Round round) {
+    AMBB_CHECK(node < n_ && slot >= 1);
+    if (slot >= by_slot_.size()) {
+      by_slot_.resize(slot + 1, std::vector<CommitRecord>(n_));
+    }
+    CommitRecord& r = by_slot_[slot][node];
+    AMBB_CHECK_MSG(!r.committed, "node " << node << " double-committed slot "
+                                         << slot);
+    r = CommitRecord{value, round, true};
+  }
+
+  bool has(NodeId node, Slot slot) const {
+    return slot < by_slot_.size() && by_slot_[slot][node].committed;
+  }
+
+  const CommitRecord& get(NodeId node, Slot slot) const {
+    AMBB_CHECK(has(node, slot));
+    return by_slot_[slot][node];
+  }
+
+  Slot max_slot() const {
+    return by_slot_.empty() ? 0 : static_cast<Slot>(by_slot_.size() - 1);
+  }
+
+  std::uint32_t n() const { return n_; }
+
+ private:
+  std::uint32_t n_;
+  std::vector<std::vector<CommitRecord>> by_slot_;  // [slot][node]
+};
+
+}  // namespace ambb

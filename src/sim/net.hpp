@@ -1,0 +1,265 @@
+// Lock-step synchronous network simulator (the paper's model, Section 3).
+//
+// Time advances in rounds. In round r every node emits messages; all
+// surviving messages are delivered at the beginning of round r+1. The
+// adversary is rushing (Byzantine actors step after honest actors and can
+// observe the honest round-r traffic before sending their own) and
+// strongly adaptive (after all traffic of round r is fixed, it may corrupt
+// additional nodes and erase messages those nodes sent in round r, i.e.
+// after-the-fact message removal [Abraham et al.]).
+//
+// The simulator is templated on the protocol's message type: each protocol
+// family defines one message struct plus a SizeModel mapping messages to
+// exact wire bits and accounting kinds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/types.hpp"
+#include "sim/cost.hpp"
+
+namespace ambb {
+
+template <typename Msg>
+struct Envelope {
+  NodeId from = kNoNode;
+  NodeId to = kNoNode;
+  Msg msg{};
+  bool free_of_charge = false;  ///< self-delivery of a multicast
+  bool erased = false;          ///< removed after-the-fact by the adversary
+};
+
+/// Sending interface handed to an actor for one round.
+template <typename Msg>
+class RoundApi {
+ public:
+  RoundApi(NodeId self, std::uint32_t n, std::vector<Envelope<Msg>>* out)
+      : self_(self), n_(n), out_(out) {}
+
+  NodeId self() const { return self_; }
+  std::uint32_t n() const { return n_; }
+
+  void send(NodeId to, Msg m) {
+    AMBB_CHECK(to < n_);
+    out_->push_back(Envelope<Msg>{self_, to, std::move(m), false, false});
+  }
+
+  /// Send to all n nodes. The self-copy is delivered but not charged:
+  /// the paper's multicast costs n-1 transmissions.
+  void multicast(const Msg& m) {
+    for (NodeId v = 0; v < n_; ++v) {
+      out_->push_back(Envelope<Msg>{self_, v, m, v == self_, false});
+    }
+  }
+
+ private:
+  NodeId self_;
+  std::uint32_t n_;
+  std::vector<Envelope<Msg>>* out_;
+};
+
+/// A node's protocol logic. One Actor instance persists across the entire
+/// multi-shot execution (protocols carry cross-slot state).
+template <typename Msg>
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Called once per round with the messages delivered at the beginning of
+  /// this round. For Byzantine actors, `rushed_traffic` additionally holds
+  /// the traffic already emitted by honest nodes in this same round
+  /// (rushing adversary); it is empty for honest actors.
+  virtual void on_round(Round r, std::span<const Envelope<Msg>> inbox,
+                        std::span<const Envelope<Msg>> rushed_traffic,
+                        RoundApi<Msg>& api) = 0;
+};
+
+/// Control surface for the strongly adaptive corruption step.
+template <typename Msg>
+class CorruptionCtl {
+ public:
+  virtual ~CorruptionCtl() = default;
+
+  /// Corrupt `node` now (end of the current round). Fails if the
+  /// corruption budget f is exhausted.
+  virtual void corrupt(NodeId node) = 0;
+
+  /// Erase a message sent in the current round. Only messages whose
+  /// sender is (now) corrupt may be erased — after-the-fact removal.
+  virtual void erase(std::size_t traffic_index) = 0;
+
+  virtual bool is_corrupt(NodeId node) const = 0;
+  virtual std::uint32_t corruption_budget_left() const = 0;
+};
+
+/// The adversary: chooses corruptions, supplies Byzantine actors, and may
+/// exercise the strongly adaptive hook each round.
+template <typename Msg>
+class Adversary {
+ public:
+  virtual ~Adversary() = default;
+
+  virtual std::vector<NodeId> initial_corruptions() = 0;
+
+  /// Byzantine replacement logic for a corrupted node.
+  virtual std::unique_ptr<Actor<Msg>> actor_for(NodeId node) = 0;
+
+  /// Strongly adaptive step: observe all round-r traffic, optionally
+  /// corrupt more nodes and erase their round-r messages.
+  virtual void observe_round(Round r,
+                             std::span<const Envelope<Msg>> traffic,
+                             CorruptionCtl<Msg>& ctl) {
+    (void)r;
+    (void)traffic;
+    (void)ctl;
+  }
+};
+
+/// Per-protocol hooks the simulation needs: exact wire size, accounting
+/// kind, and the slot an envelope's cost belongs to.
+template <typename Msg>
+struct Accounting {
+  std::function<std::uint64_t(const Msg&)> size_bits;
+  std::function<MsgKind(const Msg&)> kind;
+  std::function<Slot(const Msg&, Round sent_round)> slot;
+};
+
+template <typename Msg>
+class Simulation final : CorruptionCtl<Msg> {
+ public:
+  Simulation(std::uint32_t n, std::uint32_t f, CostLedger* ledger,
+             Accounting<Msg> accounting)
+      : n_(n),
+        f_(f),
+        ledger_(ledger),
+        accounting_(std::move(accounting)),
+        corrupt_(n, 0),
+        actors_(n),
+        inboxes_(n) {
+    AMBB_CHECK(n >= 1 && f < n);
+    AMBB_CHECK(ledger != nullptr);
+  }
+
+  /// Install the honest actor for every node, then bind the adversary
+  /// (which replaces actors of initially corrupted nodes).
+  void set_actor(NodeId node, std::unique_ptr<Actor<Msg>> actor) {
+    AMBB_CHECK(node < n_);
+    actors_[node] = std::move(actor);
+  }
+
+  void bind_adversary(Adversary<Msg>* adversary) {
+    adversary_ = adversary;
+    if (adversary_ == nullptr) return;
+    for (NodeId v : adversary_->initial_corruptions()) do_corrupt(v);
+  }
+
+  Round now() const { return round_; }
+
+  /// Introspection for tests: the actor currently installed for `node`
+  /// (the honest protocol node, or the adversary's replacement).
+  Actor<Msg>* actor(NodeId node) const {
+    AMBB_CHECK(node < n_);
+    return actors_[node].get();
+  }
+
+  std::uint32_t n() const { return n_; }
+  std::uint32_t f() const { return f_; }
+  std::uint32_t corrupt_count() const { return corrupt_count_; }
+  bool is_corrupt(NodeId node) const override {
+    AMBB_CHECK(node < n_);
+    return corrupt_[node] != 0;
+  }
+  std::uint32_t corruption_budget_left() const override {
+    return f_ - corrupt_count_;
+  }
+
+  /// Execute one lock-step round.
+  void step() {
+    traffic_.clear();
+
+    // 1. Honest actors act on their inboxes.
+    for (NodeId v = 0; v < n_; ++v) {
+      if (corrupt_[v]) continue;
+      RoundApi<Msg> api(v, n_, &traffic_);
+      actors_[v]->on_round(round_, inboxes_[v], {}, api);
+    }
+    const std::size_t honest_traffic_end = traffic_.size();
+
+    // 2. Byzantine actors act, rushing: they see the honest traffic.
+    for (NodeId v = 0; v < n_; ++v) {
+      if (!corrupt_[v]) continue;
+      RoundApi<Msg> api(v, n_, &traffic_);
+      actors_[v]->on_round(
+          round_, inboxes_[v],
+          std::span<const Envelope<Msg>>(traffic_.data(), honest_traffic_end),
+          api);
+    }
+
+    // 3. Strongly adaptive step: adversary inspects all round traffic,
+    //    may corrupt senders and erase their messages.
+    if (adversary_ != nullptr) {
+      adversary_->observe_round(round_, traffic_, *this);
+    }
+
+    // 4. Charge costs. A sender corrupted during step 3 is corrupt for
+    //    accounting purposes: its bits are not honest bits.
+    for (const auto& env : traffic_) {
+      if (env.erased || env.free_of_charge) continue;
+      ledger_->charge(accounting_.slot(env.msg, round_),
+                      accounting_.kind(env.msg),
+                      accounting_.size_bits(env.msg), !corrupt_[env.from]);
+    }
+
+    // 5. Deliver surviving messages for the next round.
+    for (auto& ib : inboxes_) ib.clear();
+    for (auto& env : traffic_) {
+      if (env.erased) continue;
+      inboxes_[env.to].push_back(std::move(env));
+    }
+    ++round_;
+  }
+
+  void run_rounds(std::uint64_t rounds) {
+    for (std::uint64_t i = 0; i < rounds; ++i) step();
+  }
+
+ private:
+  void corrupt(NodeId node) override { do_corrupt(node); }
+
+  void erase(std::size_t traffic_index) override {
+    AMBB_CHECK(traffic_index < traffic_.size());
+    Envelope<Msg>& env = traffic_[traffic_index];
+    AMBB_CHECK_MSG(corrupt_[env.from],
+                   "after-the-fact removal requires a corrupt sender");
+    env.erased = true;
+  }
+
+  void do_corrupt(NodeId node) {
+    AMBB_CHECK(node < n_);
+    if (corrupt_[node]) return;
+    AMBB_CHECK_MSG(corrupt_count_ < f_, "corruption budget f exhausted");
+    corrupt_[node] = 1;
+    ++corrupt_count_;
+    AMBB_CHECK(adversary_ != nullptr);
+    actors_[node] = adversary_->actor_for(node);
+  }
+
+  std::uint32_t n_;
+  std::uint32_t f_;
+  CostLedger* ledger_;
+  Accounting<Msg> accounting_;
+  Adversary<Msg>* adversary_ = nullptr;
+  Round round_ = 0;
+  std::vector<std::uint8_t> corrupt_;
+  std::uint32_t corrupt_count_ = 0;
+  std::vector<std::unique_ptr<Actor<Msg>>> actors_;
+  std::vector<std::vector<Envelope<Msg>>> inboxes_;
+  std::vector<Envelope<Msg>> traffic_;
+};
+
+}  // namespace ambb

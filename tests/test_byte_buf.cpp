@@ -1,0 +1,81 @@
+#include "common/byte_buf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ambb {
+namespace {
+
+TEST(Encoder, WidthsAreExact) {
+  Encoder e;
+  e.put_u8(1);
+  EXPECT_EQ(e.size(), 1u);
+  e.put_u16(1);
+  EXPECT_EQ(e.size(), 3u);
+  e.put_u32(1);
+  EXPECT_EQ(e.size(), 7u);
+  e.put_u64(1);
+  EXPECT_EQ(e.size(), 15u);
+}
+
+TEST(EncoderDecoder, RoundTrip) {
+  Encoder e;
+  e.put_u8(0xAB);
+  e.put_u16(0x1234);
+  e.put_u32(0xDEADBEEF);
+  e.put_u64(0x0123456789ABCDEFull);
+  Decoder d(e.bytes());
+  EXPECT_EQ(d.get_u8(), 0xAB);
+  EXPECT_EQ(d.get_u16(), 0x1234);
+  EXPECT_EQ(d.get_u32(), 0xDEADBEEFu);
+  EXPECT_EQ(d.get_u64(), 0x0123456789ABCDEFull);
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(EncoderDecoder, BigEndianOrder) {
+  Encoder e;
+  e.put_u32(0x01020304);
+  ASSERT_EQ(e.size(), 4u);
+  EXPECT_EQ(e.bytes()[0], 0x01);
+  EXPECT_EQ(e.bytes()[3], 0x04);
+}
+
+TEST(Encoder, TagsAreLengthPrefixed) {
+  // "ab" + "c" must differ from "a" + "bc".
+  Encoder e1, e2;
+  e1.put_tag("ab");
+  e1.put_tag("c");
+  e2.put_tag("a");
+  e2.put_tag("bc");
+  EXPECT_NE(e1.bytes(), e2.bytes());
+}
+
+TEST(Encoder, BytesAppended) {
+  Encoder e;
+  const std::uint8_t data[3] = {9, 8, 7};
+  e.put_bytes(std::span<const std::uint8_t>(data, 3));
+  Decoder d(e.bytes());
+  auto out = d.get_bytes(3);
+  EXPECT_EQ(out, std::vector<std::uint8_t>({9, 8, 7}));
+}
+
+TEST(Decoder, UnderrunThrows) {
+  Encoder e;
+  e.put_u8(1);
+  Decoder d(e.bytes());
+  d.get_u8();
+  EXPECT_THROW(d.get_u8(), CheckError);
+}
+
+TEST(Decoder, RemainingTracksPosition) {
+  Encoder e;
+  e.put_u32(5);
+  Decoder d(e.bytes());
+  EXPECT_EQ(d.remaining(), 4u);
+  d.get_u16();
+  EXPECT_EQ(d.remaining(), 2u);
+}
+
+}  // namespace
+}  // namespace ambb

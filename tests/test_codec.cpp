@@ -1,0 +1,160 @@
+// Round-trip and robustness tests for every protocol's wire codec.
+#include "bb/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ambb {
+namespace {
+
+Digest rand_digest(Rng& rng) {
+  Digest d;
+  for (auto& b : d) b = static_cast<std::uint8_t>(rng.next_u64());
+  return d;
+}
+
+template <typename M>
+void expect_roundtrip(const M& m, void (*enc)(const M&, Encoder&),
+                      M (*dec)(Decoder&)) {
+  Encoder e;
+  enc(m, e);
+  Decoder d(e.bytes());
+  const M out = dec(d);
+  EXPECT_TRUE(out == m);
+  EXPECT_TRUE(d.exhausted()) << "trailing bytes after decode";
+}
+
+TEST(CodecLinear, AllKindsRoundTrip) {
+  Rng rng(11);
+  using linear::Kind;
+  for (MsgKind k = 0; k < static_cast<MsgKind>(Kind::kKindCount); ++k) {
+    linear::Msg m;
+    m.kind = static_cast<Kind>(k);
+    m.slot = static_cast<Slot>(rng.uniform(1000) + 1);
+    m.epoch = static_cast<Epoch>(rng.uniform(60));
+    m.value = rng.next_u64();
+    m.has_cert = rng.chance(0.5);
+    if (m.has_cert) {
+      m.cert_epoch = static_cast<Epoch>(rng.uniform(40));
+      m.cert = ThresholdSig{rand_digest(rng)};
+    }
+    m.proof_epoch = static_cast<Epoch>(rng.uniform(40));
+    m.proof = ThresholdSig{rand_digest(rng)};
+    m.share = SigShare{static_cast<NodeId>(rng.uniform(64)),
+                       rand_digest(rng)};
+    m.sig = Signature{static_cast<NodeId>(rng.uniform(64)),
+                      rand_digest(rng)};
+    m.accused = static_cast<NodeId>(rng.uniform(64));
+    expect_roundtrip<linear::Msg>(m, &linear::encode, &linear::decode);
+  }
+}
+
+TEST(CodecQuad, AllKindsRoundTrip) {
+  Rng rng(13);
+  using quad::Kind;
+  for (MsgKind k = 0; k < static_cast<MsgKind>(Kind::kKindCount); ++k) {
+    quad::Msg m;
+    m.kind = static_cast<Kind>(k);
+    m.slot = static_cast<Slot>(rng.uniform(1000) + 1);
+    m.value = rng.next_u64();
+    m.accused = static_cast<NodeId>(rng.uniform(64));
+    m.sig = Signature{static_cast<NodeId>(rng.uniform(64)),
+                      rand_digest(rng)};
+    expect_roundtrip<quad::Msg>(m, &quad::encode, &quad::decode);
+  }
+}
+
+TEST(CodecDs, ChainsOfVariousLengthsRoundTrip) {
+  KeyRegistry reg(8, 1);
+  MultiSigScheme ms(reg);
+  Rng rng(17);
+  for (std::size_t chain_len : {0ul, 1ul, 3ul, 8ul}) {
+    ds::Msg m;
+    m.kind = ds::Kind::kRelay;
+    m.slot = 7;
+    m.value = rng.next_u64();
+    const Digest d = ds::relay_digest(m.slot, m.value);
+    m.agg = ms.empty();
+    for (std::size_t i = 0; i < chain_len; ++i) {
+      m.chain.push_back(reg.sign(static_cast<NodeId>(i), d));
+      m.agg = ms.extend(m.agg, static_cast<NodeId>(i), d);
+    }
+    expect_roundtrip<ds::Msg>(m, &ds::encode, &ds::decode);
+  }
+}
+
+TEST(CodecPk, BotAndValueRoundTrip) {
+  for (MsgKind k = 0; k < static_cast<MsgKind>(pk::Kind::kKindCount); ++k) {
+    for (bool has_value : {true, false}) {
+      pk::Msg m;
+      m.kind = static_cast<pk::Kind>(k);
+      m.slot = 3;
+      m.phase = 2;
+      m.has_value = has_value;
+      m.value = 0xDEADBEEF;
+      expect_roundtrip<pk::Msg>(m, &pk::encode, &pk::decode);
+    }
+  }
+}
+
+TEST(CodecHs, AllKindsRoundTrip) {
+  Rng rng(23);
+  for (MsgKind k = 0; k < static_cast<MsgKind>(hs::Kind::kKindCount); ++k) {
+    hs::Msg m;
+    m.kind = static_cast<hs::Kind>(k);
+    m.slot = 9;
+    m.value = rng.next_u64();
+    m.share = SigShare{2, rand_digest(rng)};
+    m.thsig = ThresholdSig{rand_digest(rng)};
+    m.sig = Signature{1, rand_digest(rng)};
+    expect_roundtrip<hs::Msg>(m, &hs::encode, &hs::decode);
+  }
+}
+
+TEST(Codec, InvalidKindRejected) {
+  Encoder e;
+  e.put_u8(200);  // out of range for every protocol
+  e.put_u32(1);
+  e.put_u64(0);
+  {
+    Decoder d(e.bytes());
+    EXPECT_THROW(linear::decode(d), CheckError);
+  }
+  {
+    Decoder d(e.bytes());
+    EXPECT_THROW(quad::decode(d), CheckError);
+  }
+  {
+    Decoder d(e.bytes());
+    EXPECT_THROW(pk::decode(d), CheckError);
+  }
+}
+
+TEST(Codec, TruncatedLinearMessageThrows) {
+  linear::Msg m;
+  m.kind = linear::Kind::kCommitProof;
+  m.slot = 1;
+  m.proof_epoch = 2;
+  Encoder e;
+  linear::encode(m, e);
+  auto bytes = e.bytes();
+  bytes.resize(bytes.size() / 2);
+  Decoder d(bytes);
+  EXPECT_THROW(linear::decode(d), CheckError);
+}
+
+TEST(Codec, DsChainLengthIsBounded) {
+  // A forged 16-bit length with no payload must not over-read.
+  Encoder e;
+  e.put_u8(0);      // kRelay
+  e.put_u32(1);     // slot
+  e.put_u64(5);     // value
+  e.put_u16(9999);  // claimed chain length
+  Decoder d(e.bytes());
+  EXPECT_THROW(ds::decode(d), CheckError);
+}
+
+}  // namespace
+}  // namespace ambb

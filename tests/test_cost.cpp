@@ -1,0 +1,53 @@
+#include "sim/cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ambb {
+namespace {
+
+TEST(CostLedger, ChargesHonestPerSlotAndKind) {
+  CostLedger l({"a", "b"});
+  l.charge(1, 0, 100, true);
+  l.charge(1, 1, 50, true);
+  l.charge(2, 0, 10, true);
+  EXPECT_EQ(l.honest_bits_total(), 160u);
+  EXPECT_EQ(l.honest_bits_slot(1), 150u);
+  EXPECT_EQ(l.honest_bits_slot(2), 10u);
+  EXPECT_EQ(l.honest_bits_slot(99), 0u);
+  EXPECT_EQ(l.per_kind()[0], 110u);
+  EXPECT_EQ(l.per_kind()[1], 50u);
+  EXPECT_EQ(l.honest_msgs_total(), 3u);
+}
+
+TEST(CostLedger, AdversaryBitsSeparate) {
+  CostLedger l({"a"});
+  l.charge(1, 0, 100, false);
+  EXPECT_EQ(l.honest_bits_total(), 0u);
+  EXPECT_EQ(l.adversary_bits_total(), 100u);
+  EXPECT_EQ(l.honest_bits_slot(1), 0u);
+}
+
+TEST(CostLedger, AmortizedAveragesOverSlots) {
+  CostLedger l({"a"});
+  l.charge(1, 0, 300, true);
+  l.charge(2, 0, 100, true);
+  EXPECT_DOUBLE_EQ(l.amortized(2), 200.0);
+  EXPECT_DOUBLE_EQ(l.amortized(1), 300.0);
+  EXPECT_DOUBLE_EQ(l.amortized(4), 100.0);  // empty slots count
+}
+
+TEST(CostLedger, UnknownKindThrows) {
+  CostLedger l({"a"});
+  EXPECT_THROW(l.charge(1, 5, 10, true), CheckError);
+}
+
+TEST(CostLedger, KindNamesPreserved) {
+  CostLedger l({"x", "y", "z"});
+  ASSERT_EQ(l.kind_names().size(), 3u);
+  EXPECT_EQ(l.kind_names()[2], "z");
+}
+
+}  // namespace
+}  // namespace ambb

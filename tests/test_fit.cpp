@@ -1,0 +1,46 @@
+#include "runner/fit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace ambb {
+namespace {
+
+TEST(Fit, OlsSlopeExactLine) {
+  EXPECT_NEAR(ols_slope({1, 2, 3, 4}, {2, 4, 6, 8}), 2.0, 1e-12);
+  EXPECT_NEAR(ols_slope({1, 2, 3}, {5, 5, 5}), 0.0, 1e-12);
+}
+
+TEST(Fit, OlsSlopeNegative) {
+  EXPECT_NEAR(ols_slope({0, 1, 2}, {10, 8, 6}), -2.0, 1e-12);
+}
+
+TEST(Fit, OlsDegenerateThrows) {
+  EXPECT_THROW(ols_slope({1}, {1}), CheckError);
+  EXPECT_THROW(ols_slope({2, 2, 2}, {1, 2, 3}), CheckError);
+}
+
+TEST(Fit, LogLogRecoverScalingExponent) {
+  std::vector<double> x, y;
+  for (double n : {8.0, 16.0, 32.0, 64.0, 128.0}) {
+    x.push_back(n);
+    y.push_back(3.5 * std::pow(n, 2.0));
+  }
+  EXPECT_NEAR(loglog_slope(x, y), 2.0, 1e-9);
+}
+
+TEST(Fit, LogLogLinearExponent) {
+  std::vector<double> x{10, 20, 40}, y{7 * 10, 7 * 20, 7 * 40};
+  EXPECT_NEAR(loglog_slope(x, y), 1.0, 1e-9);
+}
+
+TEST(Fit, LogLogRejectsNonPositive) {
+  EXPECT_THROW(loglog_slope({1, 2}, {0, 1}), CheckError);
+  EXPECT_THROW(loglog_slope({-1, 2}, {1, 1}), CheckError);
+}
+
+}  // namespace
+}  // namespace ambb

@@ -1,0 +1,26 @@
+#include "common/hex.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ambb {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> data{0x00, 0xFF, 0x12, 0xAB};
+  EXPECT_EQ(to_hex(data), "00ff12ab");
+  EXPECT_EQ(from_hex("00ff12ab"), data);
+}
+
+TEST(Hex, AcceptsUppercase) {
+  EXPECT_EQ(from_hex("AB"), std::vector<std::uint8_t>{0xAB});
+}
+
+TEST(Hex, RejectsOddLengthAndBadDigits) {
+  EXPECT_THROW(from_hex("abc"), CheckError);
+  EXPECT_THROW(from_hex("zz"), CheckError);
+}
+
+}  // namespace
+}  // namespace ambb

@@ -1,0 +1,128 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace ambb {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.uniform(bound), bound);
+  }
+}
+
+TEST(Rng, UniformBoundOneAlwaysZero) {
+  Rng r(9);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(r.uniform(1), 0u);
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng r(9);
+  EXPECT_THROW(r.uniform(0), CheckError);
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.uniform_range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) {
+    double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRoughlyBalanced) {
+  Rng r(17);
+  int counts[4] = {0, 0, 0, 0};
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) counts[r.uniform(4)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, trials / 4 - trials / 20);
+    EXPECT_LT(c, trials / 4 + trials / 20);
+  }
+}
+
+TEST(Rng, SampleDistinctProducesDistinctInRange) {
+  Rng r(23);
+  for (std::size_t k : {0ul, 1ul, 5ul, 10ul}) {
+    auto s = r.sample_distinct(10, k);
+    EXPECT_EQ(s.size(), k);
+    std::set<std::uint64_t> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), k);
+    for (auto v : s) EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(Rng, SampleDistinctFullRangeIsPermutation) {
+  Rng r(29);
+  auto s = r.sample_distinct(8, 8);
+  std::sort(s.begin(), s.end());
+  for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Rng, SampleDistinctTooManyThrows) {
+  Rng r(31);
+  EXPECT_THROW(r.sample_distinct(3, 4), CheckError);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(37);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto orig = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(41);
+  Rng child = a.fork();
+  // The child stream should not equal the parent's continued stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == child.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  std::uint64_t s2 = 0;
+  EXPECT_EQ(splitmix64(s2), first);
+  EXPECT_NE(splitmix64(s2), first);  // state advanced
+}
+
+}  // namespace
+}  // namespace ambb

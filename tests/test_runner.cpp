@@ -1,0 +1,116 @@
+#include "runner/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runner/registry.hpp"
+#include "runner/table.hpp"
+
+namespace ambb {
+namespace {
+
+RunResult fabricate(std::uint32_t n, Slot slots) {
+  RunResult r;
+  r.n = n;
+  r.f = 1;
+  r.slots = slots;
+  r.corrupt.assign(n, 0);
+  r.corrupt[0] = 1;  // node 0 corrupt
+  r.commits = CommitLog(n);
+  r.senders.assign(slots + 1, 1);
+  r.sender_inputs.assign(slots + 1, 42);
+  r.per_slot_bits.assign(slots + 1, 0);
+  return r;
+}
+
+TEST(Checkers, CleanRunPasses) {
+  RunResult r = fabricate(3, 2);
+  for (Slot k = 1; k <= 2; ++k) {
+    for (NodeId v = 1; v < 3; ++v) r.commits.record(v, k, 42, k);
+  }
+  EXPECT_TRUE(check_all(r).empty());
+}
+
+TEST(Checkers, ConsistencyViolationDetected) {
+  RunResult r = fabricate(3, 1);
+  r.commits.record(1, 1, 42, 1);
+  r.commits.record(2, 1, 43, 1);
+  EXPECT_FALSE(check_consistency(r).empty());
+}
+
+TEST(Checkers, CorruptNodesIgnored) {
+  RunResult r = fabricate(3, 1);
+  r.commits.record(0, 1, 999, 1);  // corrupt node disagrees: fine
+  r.commits.record(1, 1, 42, 1);
+  r.commits.record(2, 1, 42, 1);
+  EXPECT_TRUE(check_consistency(r).empty());
+  EXPECT_TRUE(check_validity(r).empty());
+}
+
+TEST(Checkers, TerminationViolationDetected) {
+  RunResult r = fabricate(3, 1);
+  r.commits.record(1, 1, 42, 1);
+  // node 2 never commits
+  auto errs = check_termination(r);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_NE(errs[0].find("node 2"), std::string::npos);
+}
+
+TEST(Checkers, ValidityViolationDetected) {
+  RunResult r = fabricate(3, 1);
+  r.commits.record(1, 1, 41, 1);  // sender 1 is honest with input 42
+  r.commits.record(2, 1, 41, 1);
+  EXPECT_FALSE(check_validity(r).empty());
+  EXPECT_TRUE(check_consistency(r).empty());
+}
+
+TEST(Checkers, ValiditySkipsCorruptSender) {
+  RunResult r = fabricate(3, 1);
+  r.senders[1] = 0;  // corrupt sender
+  r.commits.record(1, 1, 7, 1);
+  r.commits.record(2, 1, 7, 1);
+  EXPECT_TRUE(check_validity(r).empty());
+}
+
+TEST(RunResult, AmortizedMath) {
+  RunResult r = fabricate(3, 4);
+  r.per_slot_bits = {0, 1000, 100, 100, 100};  // index 0 unused
+  EXPECT_DOUBLE_EQ(r.amortized(), 325.0);
+  EXPECT_DOUBLE_EQ(r.amortized(1), 1000.0);
+  EXPECT_DOUBLE_EQ(r.amortized_tail(1), 100.0);
+}
+
+TEST(Registry, AllProtocolsPresent) {
+  const auto& ps = protocols();
+  EXPECT_GE(ps.size(), 9u);
+  EXPECT_NO_THROW(protocol("linear"));
+  EXPECT_NO_THROW(protocol("quadratic"));
+  EXPECT_NO_THROW(protocol("dolev-strong"));
+  EXPECT_NO_THROW(protocol("phase-king"));
+  EXPECT_NO_THROW(protocol("hotstuff"));
+  EXPECT_THROW(protocol("nope"), CheckError);
+}
+
+TEST(Registry, MaxFRespectsModelBounds) {
+  EXPECT_LE(protocol("phase-king").max_f(16), 5u);
+  EXPECT_EQ(protocol("quadratic").max_f(16), 15u);
+  EXPECT_LE(protocol("linear").max_f(20), 8u);
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2"});
+  std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TextTable, Formatters) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::bits_human(500), "500 bit");
+  EXPECT_EQ(TextTable::bits_human(2.5e6), "2.50 Mbit");
+}
+
+}  // namespace
+}  // namespace ambb

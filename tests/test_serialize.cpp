@@ -1,0 +1,101 @@
+#include "crypto/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ambb {
+namespace {
+
+Digest rand_digest(Rng& rng) {
+  Digest d;
+  for (auto& b : d) b = static_cast<std::uint8_t>(rng.next_u64());
+  return d;
+}
+
+TEST(Serialize, DigestRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const Digest d = rand_digest(rng);
+    Encoder e;
+    encode_digest(d, e);
+    EXPECT_EQ(e.size(), 32u);
+    Decoder dec(e.bytes());
+    EXPECT_EQ(decode_digest(dec), d);
+    EXPECT_TRUE(dec.exhausted());
+  }
+}
+
+TEST(Serialize, SignatureRoundTrip) {
+  Rng rng(2);
+  Signature s{17, rand_digest(rng)};
+  Encoder e;
+  encode_signature(s, e);
+  Decoder d(e.bytes());
+  EXPECT_EQ(decode_signature(d), s);
+}
+
+TEST(Serialize, ShareAndThsigRoundTrip) {
+  Rng rng(3);
+  SigShare s{5, rand_digest(rng)};
+  ThresholdSig t{rand_digest(rng)};
+  Encoder e;
+  encode_share(s, e);
+  encode_thsig(t, e);
+  Decoder d(e.bytes());
+  EXPECT_EQ(decode_share(d), s);
+  EXPECT_EQ(decode_thsig(d), t);
+  EXPECT_TRUE(d.exhausted());
+}
+
+TEST(Serialize, BitvecRoundTripVariousSizes) {
+  Rng rng(4);
+  for (std::size_t n : {0ul, 1ul, 63ul, 64ul, 65ul, 130ul, 1000ul}) {
+    BitVec b(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rng.chance(0.4)) b.set(i);
+    }
+    Encoder e;
+    encode_bitvec(b, e);
+    Decoder d(e.bytes());
+    EXPECT_EQ(decode_bitvec(d), b) << "n=" << n;
+    EXPECT_TRUE(d.exhausted());
+  }
+}
+
+TEST(Serialize, BitvecRejectsAbsurdSize) {
+  Encoder e;
+  e.put_u32(0x7fffffff);
+  Decoder d(e.bytes());
+  EXPECT_THROW(decode_bitvec(d), CheckError);
+}
+
+TEST(Serialize, MultisigRoundTrip) {
+  KeyRegistry reg(9, 3);
+  MultiSigScheme ms(reg);
+  const Digest dd = Sha256::hash(std::string("msg"));
+  MultiSig sig = ms.empty();
+  for (NodeId i : {0u, 3u, 8u}) sig = ms.extend(sig, i, dd);
+  Encoder e;
+  encode_multisig(sig, e);
+  Decoder d(e.bytes());
+  MultiSig out = decode_multisig(d);
+  EXPECT_EQ(out.signers, sig.signers);
+  EXPECT_EQ(out.agg, sig.agg);
+  EXPECT_TRUE(ms.verify(out, dd));
+}
+
+TEST(Serialize, TruncatedInputThrows) {
+  Rng rng(5);
+  Signature s{1, rand_digest(rng)};
+  Encoder e;
+  encode_signature(s, e);
+  auto bytes = e.bytes();
+  bytes.pop_back();
+  Decoder d(bytes);
+  EXPECT_THROW(decode_signature(d), CheckError);
+}
+
+}  // namespace
+}  // namespace ambb

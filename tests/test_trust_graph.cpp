@@ -1,0 +1,123 @@
+#include "graph/trust_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ambb {
+namespace {
+
+TEST(TrustGraph, StartsComplete) {
+  TrustGraph g(5);
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 10u);  // C(5,2)
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_TRUE(g.has_vertex(u));
+    for (NodeId v = 0; v < 5; ++v) {
+      if (u != v) EXPECT_TRUE(g.has_edge(u, v));
+    }
+  }
+}
+
+TEST(TrustGraph, NoSelfLoops) {
+  TrustGraph g(4);
+  EXPECT_FALSE(g.has_edge(2, 2));
+}
+
+TEST(TrustGraph, RemoveEdgeIsSymmetric) {
+  TrustGraph g(4);
+  g.remove_edge(0, 1);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.edge_count(), 5u);
+}
+
+TEST(TrustGraph, RemoveEdgeIdempotent) {
+  TrustGraph g(4);
+  g.remove_edge(0, 1);
+  g.remove_edge(0, 1);
+  EXPECT_EQ(g.edge_count(), 5u);
+}
+
+TEST(TrustGraph, RemoveVertexDropsIncidence) {
+  TrustGraph g(4);
+  g.remove_vertex(3);
+  EXPECT_FALSE(g.has_vertex(3));
+  EXPECT_EQ(g.vertex_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(TrustGraph, DistancesOnPath) {
+  TrustGraph g(4);
+  // Reduce the complete graph to the path 0-1-2-3.
+  g.remove_edge(0, 2);
+  g.remove_edge(0, 3);
+  g.remove_edge(1, 3);
+  auto d = g.distances_from(0);
+  EXPECT_EQ(d[0], 0u);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], 2u);
+  EXPECT_EQ(d[3], 3u);
+}
+
+TEST(TrustGraph, DistancesUnreachable) {
+  TrustGraph g(3);
+  g.remove_edge(0, 1);
+  g.remove_edge(0, 2);
+  auto d = g.distances_from(0);
+  EXPECT_EQ(d[1], TrustGraph::kUnreachable);
+  EXPECT_EQ(d[2], TrustGraph::kUnreachable);
+}
+
+TEST(TrustGraph, PruneRemovesUnreachable) {
+  TrustGraph g(4);
+  g.remove_edge(0, 3);
+  g.remove_edge(1, 3);
+  g.remove_edge(2, 3);
+  g.prune_unconnected(0);
+  EXPECT_FALSE(g.has_vertex(3));
+  EXPECT_EQ(g.vertex_count(), 3u);
+}
+
+TEST(TrustGraph, PruneKeepsIndirectlyConnected) {
+  TrustGraph g(4);
+  g.remove_edge(0, 3);  // 3 still reachable via 1 and 2
+  g.prune_unconnected(0);
+  EXPECT_TRUE(g.has_vertex(3));
+}
+
+TEST(TrustGraph, SubgraphRelation) {
+  TrustGraph a(4), b(4);
+  EXPECT_TRUE(a.is_subgraph_of(b));
+  a.remove_edge(0, 1);
+  EXPECT_TRUE(a.is_subgraph_of(b));
+  EXPECT_FALSE(b.is_subgraph_of(a));
+  b.remove_edge(0, 1);
+  b.remove_edge(2, 3);
+  EXPECT_FALSE(a.is_subgraph_of(b));
+}
+
+TEST(TrustGraph, SubgraphIgnoresRemovedVertices) {
+  TrustGraph a(4), b(4);
+  a.remove_vertex(2);
+  EXPECT_TRUE(a.is_subgraph_of(b));
+  b.remove_vertex(3);
+  EXPECT_FALSE(a.is_subgraph_of(b));  // a still has vertex 3
+}
+
+TEST(TrustGraph, PruneToleratesMissingOwner) {
+  TrustGraph g(3);
+  g.remove_vertex(0);
+  EXPECT_NO_THROW(g.prune_unconnected(0));
+}
+
+TEST(TrustGraph, DistancesFromRemovedVertexAllUnreachable) {
+  TrustGraph g(3);
+  g.remove_vertex(1);
+  auto d = g.distances_from(1);
+  for (auto x : d) EXPECT_EQ(x, TrustGraph::kUnreachable);
+}
+
+}  // namespace
+}  // namespace ambb

@@ -1,0 +1,46 @@
+#include "common/wire.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ambb {
+namespace {
+
+TEST(WireModel, IdBitsIsCeilLog2) {
+  EXPECT_EQ((WireModel{1, 256, 256}).id_bits(), 1u);
+  EXPECT_EQ((WireModel{2, 256, 256}).id_bits(), 1u);
+  EXPECT_EQ((WireModel{3, 256, 256}).id_bits(), 2u);
+  EXPECT_EQ((WireModel{4, 256, 256}).id_bits(), 2u);
+  EXPECT_EQ((WireModel{5, 256, 256}).id_bits(), 3u);
+  EXPECT_EQ((WireModel{64, 256, 256}).id_bits(), 6u);
+  EXPECT_EQ((WireModel{65, 256, 256}).id_bits(), 7u);
+  EXPECT_EQ((WireModel{1024, 256, 256}).id_bits(), 10u);
+}
+
+TEST(WireModel, IdBitsRequiresNodes) {
+  WireModel w{0, 256, 256};
+  EXPECT_THROW(w.id_bits(), CheckError);
+}
+
+TEST(WireModel, SignatureSizesFollowKappa) {
+  WireModel w{16, 256, 128};
+  EXPECT_EQ(w.sig_bits(), 256u + 4u);
+  EXPECT_EQ(w.thsig_bits(), 256u);  // combined == single share's MAC
+  EXPECT_EQ(w.multisig_bits(), 256u + 16u);  // kappa + n-bit bitmap
+  WireModel w2{16, 128, 128};
+  EXPECT_EQ(w2.sig_bits(), 128u + 4u);
+}
+
+TEST(WireModel, HeaderIsKindSlotEpoch) {
+  WireModel w{16, 256, 256};
+  EXPECT_EQ(w.header_bits(), 8u + 32u + 16u);
+}
+
+TEST(WireModel, ThresholdSigSizeIndependentOfShareCount) {
+  // The paper's assumption: thsig(m) has the length of a single share's
+  // MAC, no matter how many shares were combined.
+  WireModel small{8, 256, 256}, large{512, 256, 256};
+  EXPECT_EQ(small.thsig_bits(), large.thsig_bits());
+}
+
+}  // namespace
+}  // namespace ambb
