@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f4_hotstuff.dir/bench_f4_hotstuff.cpp.o"
+  "CMakeFiles/bench_f4_hotstuff.dir/bench_f4_hotstuff.cpp.o.d"
+  "bench_f4_hotstuff"
+  "bench_f4_hotstuff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f4_hotstuff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f5_trustcast.dir/bench_f5_trustcast.cpp.o"
+  "CMakeFiles/bench_f5_trustcast.dir/bench_f5_trustcast.cpp.o.d"
+  "bench_f5_trustcast"
+  "bench_f5_trustcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f5_trustcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_f6_expander.dir/bench_f6_expander.cpp.o"
+  "CMakeFiles/bench_f6_expander.dir/bench_f6_expander.cpp.o.d"
+  "bench_f6_expander"
+  "bench_f6_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_f6_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_resilience.dir/adversarial_resilience.cpp.o"
+  "CMakeFiles/adversarial_resilience.dir/adversarial_resilience.cpp.o.d"
+  "adversarial_resilience"
+  "adversarial_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

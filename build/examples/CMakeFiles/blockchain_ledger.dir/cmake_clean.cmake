@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockchain_ledger.dir/blockchain_ledger.cpp.o"
+  "CMakeFiles/blockchain_ledger.dir/blockchain_ledger.cpp.o.d"
+  "blockchain_ledger"
+  "blockchain_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockchain_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keygen_ceremony.dir/keygen_ceremony.cpp.o"
+  "CMakeFiles/keygen_ceremony.dir/keygen_ceremony.cpp.o.d"
+  "keygen_ceremony"
+  "keygen_ceremony.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keygen_ceremony.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for keygen_ceremony.
+# This may be replaced when dependencies are built.

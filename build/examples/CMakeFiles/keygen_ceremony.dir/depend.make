@@ -1,0 +1,2 @@
+# Empty dependencies file for keygen_ceremony.
+# This may be replaced when dependencies are built.

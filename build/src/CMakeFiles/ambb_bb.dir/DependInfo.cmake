@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bb/atomic_broadcast.cpp" "src/CMakeFiles/ambb_bb.dir/bb/atomic_broadcast.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/atomic_broadcast.cpp.o.d"
+  "/root/repo/src/bb/codec.cpp" "src/CMakeFiles/ambb_bb.dir/bb/codec.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/codec.cpp.o.d"
+  "/root/repo/src/bb/dolev_strong.cpp" "src/CMakeFiles/ambb_bb.dir/bb/dolev_strong.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/dolev_strong.cpp.o.d"
+  "/root/repo/src/bb/hotstuff_demo.cpp" "src/CMakeFiles/ambb_bb.dir/bb/hotstuff_demo.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/hotstuff_demo.cpp.o.d"
+  "/root/repo/src/bb/linear_adversary.cpp" "src/CMakeFiles/ambb_bb.dir/bb/linear_adversary.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/linear_adversary.cpp.o.d"
+  "/root/repo/src/bb/linear_bb.cpp" "src/CMakeFiles/ambb_bb.dir/bb/linear_bb.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/linear_bb.cpp.o.d"
+  "/root/repo/src/bb/phase_king.cpp" "src/CMakeFiles/ambb_bb.dir/bb/phase_king.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/phase_king.cpp.o.d"
+  "/root/repo/src/bb/quadratic_adversary.cpp" "src/CMakeFiles/ambb_bb.dir/bb/quadratic_adversary.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/quadratic_adversary.cpp.o.d"
+  "/root/repo/src/bb/quadratic_bb.cpp" "src/CMakeFiles/ambb_bb.dir/bb/quadratic_bb.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/quadratic_bb.cpp.o.d"
+  "/root/repo/src/bb/trustcast.cpp" "src/CMakeFiles/ambb_bb.dir/bb/trustcast.cpp.o" "gcc" "src/CMakeFiles/ambb_bb.dir/bb/trustcast.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ambb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

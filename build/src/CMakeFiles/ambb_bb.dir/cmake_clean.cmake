@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambb_bb.dir/bb/atomic_broadcast.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/atomic_broadcast.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/codec.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/codec.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/dolev_strong.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/dolev_strong.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/hotstuff_demo.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/hotstuff_demo.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/linear_adversary.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/linear_adversary.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/linear_bb.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/linear_bb.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/phase_king.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/phase_king.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/quadratic_adversary.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/quadratic_adversary.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/quadratic_bb.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/quadratic_bb.cpp.o.d"
+  "CMakeFiles/ambb_bb.dir/bb/trustcast.cpp.o"
+  "CMakeFiles/ambb_bb.dir/bb/trustcast.cpp.o.d"
+  "libambb_bb.a"
+  "libambb_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambb_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambb_common.dir/common/bitvec.cpp.o"
+  "CMakeFiles/ambb_common.dir/common/bitvec.cpp.o.d"
+  "CMakeFiles/ambb_common.dir/common/byte_buf.cpp.o"
+  "CMakeFiles/ambb_common.dir/common/byte_buf.cpp.o.d"
+  "CMakeFiles/ambb_common.dir/common/hex.cpp.o"
+  "CMakeFiles/ambb_common.dir/common/hex.cpp.o.d"
+  "CMakeFiles/ambb_common.dir/common/rng.cpp.o"
+  "CMakeFiles/ambb_common.dir/common/rng.cpp.o.d"
+  "libambb_common.a"
+  "libambb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

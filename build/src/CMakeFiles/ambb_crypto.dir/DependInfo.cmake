@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/hmac.cpp" "src/CMakeFiles/ambb_crypto.dir/crypto/hmac.cpp.o" "gcc" "src/CMakeFiles/ambb_crypto.dir/crypto/hmac.cpp.o.d"
+  "/root/repo/src/crypto/multisig.cpp" "src/CMakeFiles/ambb_crypto.dir/crypto/multisig.cpp.o" "gcc" "src/CMakeFiles/ambb_crypto.dir/crypto/multisig.cpp.o.d"
+  "/root/repo/src/crypto/serialize.cpp" "src/CMakeFiles/ambb_crypto.dir/crypto/serialize.cpp.o" "gcc" "src/CMakeFiles/ambb_crypto.dir/crypto/serialize.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/ambb_crypto.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/ambb_crypto.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/crypto/signer.cpp" "src/CMakeFiles/ambb_crypto.dir/crypto/signer.cpp.o" "gcc" "src/CMakeFiles/ambb_crypto.dir/crypto/signer.cpp.o.d"
+  "/root/repo/src/crypto/threshold.cpp" "src/CMakeFiles/ambb_crypto.dir/crypto/threshold.cpp.o" "gcc" "src/CMakeFiles/ambb_crypto.dir/crypto/threshold.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ambb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambb_crypto.dir/crypto/hmac.cpp.o"
+  "CMakeFiles/ambb_crypto.dir/crypto/hmac.cpp.o.d"
+  "CMakeFiles/ambb_crypto.dir/crypto/multisig.cpp.o"
+  "CMakeFiles/ambb_crypto.dir/crypto/multisig.cpp.o.d"
+  "CMakeFiles/ambb_crypto.dir/crypto/serialize.cpp.o"
+  "CMakeFiles/ambb_crypto.dir/crypto/serialize.cpp.o.d"
+  "CMakeFiles/ambb_crypto.dir/crypto/sha256.cpp.o"
+  "CMakeFiles/ambb_crypto.dir/crypto/sha256.cpp.o.d"
+  "CMakeFiles/ambb_crypto.dir/crypto/signer.cpp.o"
+  "CMakeFiles/ambb_crypto.dir/crypto/signer.cpp.o.d"
+  "CMakeFiles/ambb_crypto.dir/crypto/threshold.cpp.o"
+  "CMakeFiles/ambb_crypto.dir/crypto/threshold.cpp.o.d"
+  "libambb_crypto.a"
+  "libambb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambb_graph.dir/graph/expander.cpp.o"
+  "CMakeFiles/ambb_graph.dir/graph/expander.cpp.o.d"
+  "CMakeFiles/ambb_graph.dir/graph/trust_graph.cpp.o"
+  "CMakeFiles/ambb_graph.dir/graph/trust_graph.cpp.o.d"
+  "libambb_graph.a"
+  "libambb_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambb_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

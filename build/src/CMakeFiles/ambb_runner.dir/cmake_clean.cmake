@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambb_runner.dir/runner/fit.cpp.o"
+  "CMakeFiles/ambb_runner.dir/runner/fit.cpp.o.d"
+  "CMakeFiles/ambb_runner.dir/runner/registry.cpp.o"
+  "CMakeFiles/ambb_runner.dir/runner/registry.cpp.o.d"
+  "CMakeFiles/ambb_runner.dir/runner/result.cpp.o"
+  "CMakeFiles/ambb_runner.dir/runner/result.cpp.o.d"
+  "CMakeFiles/ambb_runner.dir/runner/table.cpp.o"
+  "CMakeFiles/ambb_runner.dir/runner/table.cpp.o.d"
+  "libambb_runner.a"
+  "libambb_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambb_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ambb_sim.dir/sim/cost.cpp.o"
+  "CMakeFiles/ambb_sim.dir/sim/cost.cpp.o.d"
+  "libambb_sim.a"
+  "libambb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ambb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_atomic_broadcast.dir/test_atomic_broadcast.cpp.o"
+  "CMakeFiles/test_atomic_broadcast.dir/test_atomic_broadcast.cpp.o.d"
+  "test_atomic_broadcast"
+  "test_atomic_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_atomic_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

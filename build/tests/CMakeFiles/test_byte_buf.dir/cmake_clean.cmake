@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_byte_buf.dir/test_byte_buf.cpp.o"
+  "CMakeFiles/test_byte_buf.dir/test_byte_buf.cpp.o.d"
+  "test_byte_buf"
+  "test_byte_buf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_byte_buf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dolev_strong.dir/test_dolev_strong.cpp.o"
+  "CMakeFiles/test_dolev_strong.dir/test_dolev_strong.cpp.o.d"
+  "test_dolev_strong"
+  "test_dolev_strong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dolev_strong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hex.dir/test_hex.cpp.o"
+  "CMakeFiles/test_hex.dir/test_hex.cpp.o.d"
+  "test_hex"
+  "test_hex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_hotstuff_demo.cpp" "tests/CMakeFiles/test_hotstuff_demo.dir/test_hotstuff_demo.cpp.o" "gcc" "tests/CMakeFiles/test_hotstuff_demo.dir/test_hotstuff_demo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/ambb_runner.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_bb.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/ambb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

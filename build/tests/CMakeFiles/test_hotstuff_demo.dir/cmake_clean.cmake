@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotstuff_demo.dir/test_hotstuff_demo.cpp.o"
+  "CMakeFiles/test_hotstuff_demo.dir/test_hotstuff_demo.cpp.o.d"
+  "test_hotstuff_demo"
+  "test_hotstuff_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotstuff_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_bb.dir/test_linear_bb.cpp.o"
+  "CMakeFiles/test_linear_bb.dir/test_linear_bb.cpp.o.d"
+  "test_linear_bb"
+  "test_linear_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linear_invariants.dir/test_linear_invariants.cpp.o"
+  "CMakeFiles/test_linear_invariants.dir/test_linear_invariants.cpp.o.d"
+  "test_linear_invariants"
+  "test_linear_invariants.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linear_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multisig.dir/test_multisig.cpp.o"
+  "CMakeFiles/test_multisig.dir/test_multisig.cpp.o.d"
+  "test_multisig"
+  "test_multisig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multisig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

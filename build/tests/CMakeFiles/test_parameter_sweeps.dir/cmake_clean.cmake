@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parameter_sweeps.dir/test_parameter_sweeps.cpp.o"
+  "CMakeFiles/test_parameter_sweeps.dir/test_parameter_sweeps.cpp.o.d"
+  "test_parameter_sweeps"
+  "test_parameter_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parameter_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

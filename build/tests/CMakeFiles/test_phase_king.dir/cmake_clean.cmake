@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_phase_king.dir/test_phase_king.cpp.o"
+  "CMakeFiles/test_phase_king.dir/test_phase_king.cpp.o.d"
+  "test_phase_king"
+  "test_phase_king.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_phase_king.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

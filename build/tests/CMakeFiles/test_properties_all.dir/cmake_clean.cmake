@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_properties_all.dir/test_properties_all.cpp.o"
+  "CMakeFiles/test_properties_all.dir/test_properties_all.cpp.o.d"
+  "test_properties_all"
+  "test_properties_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_properties_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_quadratic_bb.dir/test_quadratic_bb.cpp.o"
+  "CMakeFiles/test_quadratic_bb.dir/test_quadratic_bb.cpp.o.d"
+  "test_quadratic_bb"
+  "test_quadratic_bb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_quadratic_bb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

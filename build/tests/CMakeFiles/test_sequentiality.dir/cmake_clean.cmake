@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sequentiality.dir/test_sequentiality.cpp.o"
+  "CMakeFiles/test_sequentiality.dir/test_sequentiality.cpp.o.d"
+  "test_sequentiality"
+  "test_sequentiality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sequentiality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

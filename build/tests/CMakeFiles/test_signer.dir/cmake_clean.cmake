@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signer.dir/test_signer.cpp.o"
+  "CMakeFiles/test_signer.dir/test_signer.cpp.o.d"
+  "test_signer"
+  "test_signer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

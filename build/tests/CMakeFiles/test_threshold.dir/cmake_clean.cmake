@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_threshold.dir/test_threshold.cpp.o"
+  "CMakeFiles/test_threshold.dir/test_threshold.cpp.o.d"
+  "test_threshold"
+  "test_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

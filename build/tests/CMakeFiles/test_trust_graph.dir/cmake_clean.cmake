@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trust_graph.dir/test_trust_graph.cpp.o"
+  "CMakeFiles/test_trust_graph.dir/test_trust_graph.cpp.o.d"
+  "test_trust_graph"
+  "test_trust_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trust_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trustcast.dir/test_trustcast.cpp.o"
+  "CMakeFiles/test_trustcast.dir/test_trustcast.cpp.o.d"
+  "test_trustcast"
+  "test_trustcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trustcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wire_model.dir/test_wire_model.cpp.o"
+  "CMakeFiles/test_wire_model.dir/test_wire_model.cpp.o.d"
+  "test_wire_model"
+  "test_wire_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wire_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
