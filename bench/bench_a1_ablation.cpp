@@ -43,8 +43,16 @@ void run_table() {
                "tail(48..96)", "liveness"});
   for (const auto& v : variants) {
     for (const char* adv : {"silent", "selective", "mixed"}) {
-      RunResult r24 = run_variant(v.opts, adv, 24);
-      RunResult r96 = run_variant(v.opts, adv, 96);
+      // Liveness is the quantity under test (the no-query variants are
+      // expected to stall), so termination is reported in the table
+      // instead of failing the bench; consistency/validity still count.
+      const std::string label = std::string(v.name) + "/" + adv;
+      RunResult r24 = timed_checked(
+          label + "/L24", [&] { return run_variant(v.opts, adv, 24); },
+          /*allow_stall=*/true);
+      RunResult r96 = timed_checked(
+          label + "/L96", [&] { return run_variant(v.opts, adv, 96); },
+          /*allow_stall=*/true);
       const bool live = check_termination(r96).empty();
       t.add_row({v.name, adv, TextTable::bits_human(r24.amortized()),
                  TextTable::bits_human(r96.amortized()),
@@ -80,5 +88,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ambb::bench::run_table();
-  return 0;
+  return ambb::bench::finish_bench("a1_ablation");
 }

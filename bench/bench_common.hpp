@@ -6,12 +6,24 @@
 // Wall-clock timing of full multi-shot executions is registered through
 // google-benchmark; the communication measurements (the paper's actual
 // metric) are printed as tables after the timing runs.
+//
+// Every measured execution goes through timed_checked()/checked_run(),
+// which (a) verifies the BB properties so printed numbers always come from
+// correct executions, (b) counts violations so the binary exits non-zero
+// if any slipped through, and (c) records the run (cost, round stats,
+// wall clock) into BENCH_<name>.json for a machine-readable perf
+// trajectory. Setting AMBB_BENCH_INJECT_VIOLATION=1 injects a synthetic
+// violation into every check, to prove the non-zero-exit plumbing works.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "runner/fit.hpp"
 #include "runner/registry.hpp"
@@ -27,29 +39,182 @@ inline void print_header(const char* experiment, const char* claim) {
   std::printf("================================================================\n");
 }
 
+/// One checked execution, as written to BENCH_<name>.json.
+struct RunRecord {
+  std::string label;
+  std::uint32_t n = 0;
+  std::uint32_t f = 0;
+  Slot slots = 0;
+  Round rounds = 0;
+  std::uint64_t honest_bits = 0;
+  std::uint64_t adversary_bits = 0;
+  double amortized = 0.0;
+  double wall_ms = 0.0;
+  RoundStatsSummary stats;
+  std::size_t violations = 0;
+};
+
+struct BenchState {
+  std::size_t violations = 0;
+  std::vector<RunRecord> runs;
+};
+
+inline BenchState& state() {
+  static BenchState s;
+  return s;
+}
+
+/// Check an already-executed run, record it, and bump the violation count.
+/// `allow_stall` skips the termination check (registry-known liveness
+/// failures under specific adversaries).
+inline RunResult checked(const std::string& label, RunResult r,
+                         double wall_ms, bool allow_stall = false) {
+  auto errs = check_consistency(r);
+  auto v = check_validity(r);
+  errs.insert(errs.end(), v.begin(), v.end());
+  if (!allow_stall) {
+    auto t = check_termination(r);
+    errs.insert(errs.end(), t.begin(), t.end());
+  }
+  if (std::getenv("AMBB_BENCH_INJECT_VIOLATION") != nullptr) {
+    errs.push_back("synthetic violation (AMBB_BENCH_INJECT_VIOLATION)");
+  }
+  if (!errs.empty()) {
+    std::printf("!! %s produced %zu property violations (first: %s)\n",
+                label.c_str(), errs.size(), errs[0].c_str());
+    state().violations += errs.size();
+  }
+
+  RunRecord rec;
+  rec.label = label;
+  rec.n = r.n;
+  rec.f = r.f;
+  rec.slots = r.slots;
+  rec.rounds = r.rounds;
+  rec.honest_bits = r.honest_bits;
+  rec.adversary_bits = r.adversary_bits;
+  rec.amortized = r.amortized();
+  rec.wall_ms = wall_ms;
+  rec.stats = r.stats_summary();
+  rec.violations = errs.size();
+  state().runs.push_back(std::move(rec));
+  return r;
+}
+
+/// Time a driver call, then check + record it. The label should identify
+/// the configuration (protocol/adversary/n).
+template <class Fn>
+RunResult timed_checked(const std::string& label, Fn&& run,
+                        bool allow_stall = false) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RunResult r = std::forward<Fn>(run)();
+  const auto t1 = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+  return checked(label, std::move(r), ms, allow_stall);
+}
+
 /// Run a protocol from the registry and sanity-check the run (so the
 /// numbers we print always come from correct executions).
 inline RunResult checked_run(const std::string& proto,
                              const CommonParams& p) {
   const ProtocolInfo& info = protocol(proto);
-  RunResult r = info.run(p);
-  auto errs = check_consistency(r);
-  auto v = check_validity(r);
-  errs.insert(errs.end(), v.begin(), v.end());
   bool stall_ok = false;
   for (const auto& a : info.known_liveness_failures) {
     if (a == p.adversary) stall_ok = true;
   }
-  if (!stall_ok) {
-    auto t = check_termination(r);
-    errs.insert(errs.end(), t.begin(), t.end());
+  return timed_checked(proto + "/" + p.adversary + "/n" +
+                           std::to_string(p.n),
+                       [&] { return info.run(p); }, stall_ok);
+}
+
+inline void json_escape_into(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+    } else {
+      out += c;
+    }
   }
-  if (!errs.empty()) {
-    std::printf("!! %s/%s produced %zu property violations (first: %s)\n",
-                proto.c_str(), p.adversary.c_str(), errs.size(),
-                errs[0].c_str());
+}
+
+/// Print the per-run round-stats summary table, write BENCH_<name>.json,
+/// and return the process exit code (non-zero iff any checked run violated
+/// a property). Every bench main() ends with `return finish_bench(...)`.
+inline int finish_bench(const char* bench_name) {
+  BenchState& st = state();
+
+  if (!st.runs.empty()) {
+    std::printf("\nPer-run simulator statistics (%zu checked runs):\n",
+                st.runs.size());
+    TextTable t({"run", "wall ms", "rounds", "records", "deliveries",
+                 "erase", "corrupt", "acct ms", "deliver ms"});
+    for (const RunRecord& r : st.runs) {
+      t.add_row({r.label, TextTable::num(r.wall_ms, 1),
+                 std::to_string(r.rounds), std::to_string(r.stats.records),
+                 std::to_string(r.stats.deliveries),
+                 std::to_string(r.stats.erasures),
+                 std::to_string(r.stats.corruptions),
+                 TextTable::num(r.stats.ns_accounting / 1e6, 2),
+                 TextTable::num(r.stats.ns_delivery / 1e6, 2)});
+    }
+    std::printf("%s", t.render().c_str());
   }
-  return r;
+
+  std::string json;
+  json += "{\n  \"bench\": \"";
+  json_escape_into(json, bench_name);
+  json += "\",\n  \"violations\": " + std::to_string(st.violations);
+  json += ",\n  \"runs\": [";
+  for (std::size_t i = 0; i < st.runs.size(); ++i) {
+    const RunRecord& r = st.runs[i];
+    json += i == 0 ? "\n" : ",\n";
+    json += "    {\"label\": \"";
+    json_escape_into(json, r.label);
+    json += "\", \"n\": " + std::to_string(r.n);
+    json += ", \"f\": " + std::to_string(r.f);
+    json += ", \"slots\": " + std::to_string(r.slots);
+    json += ", \"rounds\": " + std::to_string(r.rounds);
+    json += ", \"honest_bits\": " + std::to_string(r.honest_bits);
+    json += ", \"adversary_bits\": " + std::to_string(r.adversary_bits);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.3f", r.amortized);
+    json += ", \"amortized_bits_per_slot\": " + std::string(buf);
+    std::snprintf(buf, sizeof buf, "%.3f", r.wall_ms);
+    json += ", \"wall_ms\": " + std::string(buf);
+    json += ", \"records\": " + std::to_string(r.stats.records);
+    json += ", \"deliveries\": " + std::to_string(r.stats.deliveries);
+    json += ", \"erasures\": " + std::to_string(r.stats.erasures);
+    json += ", \"corruptions\": " + std::to_string(r.stats.corruptions);
+    json += ", \"ns_honest\": " + std::to_string(r.stats.ns_honest);
+    json += ", \"ns_byzantine\": " + std::to_string(r.stats.ns_byzantine);
+    json += ", \"ns_adversary\": " + std::to_string(r.stats.ns_adversary);
+    json += ", \"ns_accounting\": " + std::to_string(r.stats.ns_accounting);
+    json += ", \"ns_delivery\": " + std::to_string(r.stats.ns_delivery);
+    json += ", \"violations\": " + std::to_string(r.violations);
+    json += "}";
+  }
+  json += "\n  ]\n}\n";
+
+  const std::string path = std::string("BENCH_") + bench_name + ".json";
+  if (std::FILE* fp = std::fopen(path.c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), fp);
+    std::fclose(fp);
+    std::printf("\nwrote %s (%zu runs)\n", path.c_str(), st.runs.size());
+  } else {
+    std::printf("\n!! could not write %s\n", path.c_str());
+  }
+
+  if (st.violations != 0) {
+    std::printf("!! %zu property violations across checked runs — "
+                "failing the bench\n",
+                st.violations);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace ambb::bench

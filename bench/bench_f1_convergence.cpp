@@ -34,9 +34,8 @@ void run_series() {
     cfg.seed = 7;
     cfg.eps = 0.1;
     cfg.adversary = adv;
-    RunResult r = linear::run_linear(cfg);
-    auto errs = check_all(r);
-    if (!errs.empty()) std::printf("!! %s: %s\n", adv, errs[0].c_str());
+    RunResult r = timed_checked(std::string("linear/") + adv + "/L192",
+                                [&] { return linear::run_linear(cfg); });
     t.add_row({adv, TextTable::bits_human(r.amortized(4)),
                TextTable::bits_human(r.amortized(16)),
                TextTable::bits_human(r.amortized(48)),
@@ -76,5 +75,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ambb::bench::run_series();
-  return 0;
+  return ambb::bench::finish_bench("f1_convergence");
 }

@@ -38,7 +38,8 @@ void run_scaling() {
     cfg.seed = 7;
     cfg.eps = 0.2;  // constant expander degree across this sweep
     cfg.adversary = "mixed";
-    auto r = linear::run_linear(cfg);
+    auto r = timed_checked("alg4/mixed/n" + std::to_string(n),
+                           [&] { return linear::run_linear(cfg); });
     alg4.ns.push_back(n);
     alg4.costs.push_back(r.amortized_tail(2 * n));
   }
@@ -53,7 +54,8 @@ void run_scaling() {
     cfg.eps = 0.2;
     cfg.adversary = "mixed";
     cfg.opts = linear::Options::mr_baseline();
-    auto r = linear::run_linear(cfg);
+    auto r = timed_checked("mr-baseline/mixed/n" + std::to_string(n),
+                           [&] { return linear::run_linear(cfg); });
     mr.ns.push_back(n);
     mr.costs.push_back(r.amortized_tail(4));
   }
@@ -66,7 +68,8 @@ void run_scaling() {
     cfg.slots = 3 * n;
     cfg.seed = 7;
     cfg.adversary = "silent";
-    auto r = quad::run_quadratic(cfg);
+    auto r = timed_checked("alg5.2/silent/n" + std::to_string(n),
+                           [&] { return quad::run_quadratic(cfg); });
     s_quad.ns.push_back(n);
     s_quad.costs.push_back(r.amortized_tail(2 * n));
   }
@@ -79,7 +82,8 @@ void run_scaling() {
     cfg.slots = 4;
     cfg.seed = 7;
     cfg.adversary = "stagger";
-    auto r = ds::run_dolev_strong(cfg);
+    auto r = timed_checked("dolev-strong/stagger/n" + std::to_string(n),
+                           [&] { return ds::run_dolev_strong(cfg); });
     dsw.ns.push_back(n);
     dsw.costs.push_back(r.amortized());
   }
@@ -92,7 +96,8 @@ void run_scaling() {
     cfg.slots = 4;
     cfg.seed = 7;
     cfg.adversary = "confuse";
-    auto r = pk::run_phase_king(cfg);
+    auto r = timed_checked("phase-king/confuse/n" + std::to_string(n),
+                           [&] { return pk::run_phase_king(cfg); });
     s_pk.ns.push_back(n);
     s_pk.costs.push_back(r.amortized());
   }
@@ -133,5 +138,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ambb::bench::run_scaling();
-  return 0;
+  return ambb::bench::finish_bench("f2_scaling");
 }

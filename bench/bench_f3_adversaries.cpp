@@ -29,9 +29,8 @@ void run_breakdown() {
     cfg.slots = slots;
     cfg.seed = 11;
     cfg.adversary = adv;
-    RunResult r = linear::run_linear(cfg);
-    auto errs = check_all(r);
-    if (!errs.empty()) std::printf("!! %s: %s\n", adv, errs[0].c_str());
+    RunResult r = timed_checked(std::string("linear/") + adv + "/L72",
+                                [&] { return linear::run_linear(cfg); });
 
     // Rank message kinds by honest bits.
     std::vector<std::size_t> order(r.kind_names.size());
@@ -87,5 +86,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ambb::bench::run_breakdown();
-  return 0;
+  return ambb::bench::finish_bench("f3_adversaries");
 }

@@ -18,10 +18,9 @@ RunResult run_quad(std::uint32_t n, std::uint32_t f, Slot slots,
   cfg.slots = slots;
   cfg.seed = 13;
   cfg.adversary = adv;
-  RunResult r = quad::run_quadratic(cfg);
-  auto errs = check_all(r);
-  if (!errs.empty()) std::printf("!! %s: %s\n", adv, errs[0].c_str());
-  return r;
+  return timed_checked(std::string("quadratic/") + adv + "/L" +
+                           std::to_string(slots),
+                       [&] { return quad::run_quadratic(cfg); });
 }
 
 std::uint64_t kind_bits(const RunResult& r, const char* kind) {
@@ -86,5 +85,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ambb::bench::run_tables();
-  return 0;
+  return ambb::bench::finish_bench("f5_trustcast");
 }

@@ -122,5 +122,5 @@ int main(int argc, char** argv) {
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   ambb::bench::run_table();
-  return 0;
+  return ambb::bench::finish_bench("table1");
 }

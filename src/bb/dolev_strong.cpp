@@ -65,8 +65,8 @@ Msg DsNode::extend(const Msg& m) const {
   return out;
 }
 
-void DsNode::on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                      std::span<const Envelope<Msg>> rushed,
+void DsNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                      const TrafficView<Msg>& rushed,
                       RoundApi<Msg>& api) {
   (void)rushed;
   const Schedule& sched = ctx_->sched;
@@ -98,7 +98,7 @@ void DsNode::on_round(Round r, std::span<const Envelope<Msg>> inbox,
     }
   } else {
     for (const auto& env : inbox) {
-      const Msg& m = env.msg;
+      const Msg& m = env.msg();
       if (m.kind != Kind::kRelay || m.slot != k) continue;
       if (extracted_.size() >= 2) break;
       if (std::find(extracted_.begin(), extracted_.end(), m.value) !=
@@ -244,14 +244,8 @@ RunResult run_dolev_strong(const DsConfig& cfg) {
     return static_cast<NodeId>((s - 1) % n);
   };
 
-  Accounting<Msg> acc;
-  acc.size_bits = [&ctx](const Msg& m) { return size_bits(m, ctx); };
-  acc.kind = [](const Msg&) { return MsgKind{0}; };
-  acc.slot = [sched = ctx.sched](const Msg& m, Round r) {
-    return m.slot != 0 ? m.slot : sched.slot_of(r);
-  };
-
-  Simulation<Msg> sim(cfg.n, cfg.f, &ledger, acc);
+  Sim sim(cfg.n, cfg.f, &ledger,
+          CostPolicy{ctx.wire, ctx.sched, ctx.use_multisig});
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<DsNode>(v, &ctx));
   }
@@ -276,6 +270,7 @@ RunResult run_dolev_strong(const DsConfig& cfg) {
   res.kind_names = ledger.kind_names();
   res.per_kind_bits = ledger.per_kind();
   res.commits = commits;
+  res.round_stats = sim.round_stats();
   res.corrupt.resize(cfg.n);
   for (NodeId v = 0; v < cfg.n; ++v) res.corrupt[v] = sim.is_corrupt(v);
   res.senders.resize(cfg.slots + 1, kNoNode);

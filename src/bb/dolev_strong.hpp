@@ -76,6 +76,31 @@ struct Context {
 
 std::uint64_t size_bits(const Msg& m, const Context& ctx);
 
+/// Accounting policy, evaluated once per traffic record. A DS chain's
+/// size depends only on the wire mode and chain length, so the policy
+/// carries the mode flag instead of the whole Context.
+struct CostPolicy {
+  WireModel wire;
+  Schedule sched;
+  bool use_multisig = false;
+
+  std::uint64_t size_bits(const Msg& m) const {
+    std::uint64_t bits = wire.header_bits() + wire.value_bits;
+    if (use_multisig) {
+      bits += wire.multisig_bits();
+    } else {
+      bits += static_cast<std::uint64_t>(m.chain.size()) * wire.sig_bits();
+    }
+    return bits;
+  }
+  MsgKind kind(const Msg&) const { return MsgKind{0}; }
+  Slot slot(const Msg& m, Round sent_round) const {
+    return m.slot != 0 ? m.slot : sched.slot_of(sent_round);
+  }
+};
+
+using Sim = Simulation<Msg, CostPolicy>;
+
 class Deviation {
  public:
   virtual ~Deviation() = default;
@@ -104,8 +129,8 @@ class DsNode final : public Actor<Msg> {
   DsNode(NodeId id, const Context* ctx,
          std::unique_ptr<Deviation> deviation = nullptr);
 
-  void on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                std::span<const Envelope<Msg>> rushed,
+  void on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                const TrafficView<Msg>& rushed,
                 RoundApi<Msg>& api) override;
 
  private:

@@ -59,8 +59,8 @@ class HsNode final : public Actor<Msg> {
   HsNode(NodeId id, const Context* ctx, StarveFn starve = nullptr)
       : id_(id), ctx_(ctx), starve_(std::move(starve)) {}
 
-  void on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                std::span<const Envelope<Msg>> rushed,
+  void on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                const TrafficView<Msg>& rushed,
                 RoundApi<Msg>& api) override {
     (void)rushed;
     const Schedule& sched = ctx_->sched;
@@ -91,7 +91,7 @@ class HsNode final : public Actor<Msg> {
         break;
       case 1:
         for (const auto& env : inbox) {
-          const Msg& m = env.msg;
+          const Msg& m = env.msg();
           if (m.kind != Kind::kPropose || m.slot != k) continue;
           if (m.sig.signer != leader ||
               !ctx_->registry->verify(m.sig, prop_digest(k, m.value))) {
@@ -114,7 +114,7 @@ class HsNode final : public Actor<Msg> {
       case 2:
         if (id_ == leader && !cert_made_) {
           for (const auto& env : inbox) {
-            const Msg& m = env.msg;
+            const Msg& m = env.msg();
             if (m.kind != Kind::kVote1 || m.slot != k ||
                 m.value != value_) {
               continue;
@@ -137,7 +137,7 @@ class HsNode final : public Actor<Msg> {
         break;
       case 3:
         for (const auto& env : inbox) {
-          const Msg& m = env.msg;
+          const Msg& m = env.msg();
           if (m.kind != Kind::kCert || m.slot != k) continue;
           if (!ctx_->th->verify(m.thsig, round1_digest(k, m.value))) continue;
           Msg v;
@@ -156,7 +156,7 @@ class HsNode final : public Actor<Msg> {
       case 4:
         if (id_ == leader && !proof_made_) {
           for (const auto& env : inbox) {
-            const Msg& m = env.msg;
+            const Msg& m = env.msg();
             if (m.kind != Kind::kVote2 || m.slot != k ||
                 m.value != value_) {
               continue;
@@ -185,7 +185,7 @@ class HsNode final : public Actor<Msg> {
         break;
       case 5:
         for (const auto& env : inbox) {
-          const Msg& m = env.msg;
+          const Msg& m = env.msg();
           if (m.kind != Kind::kProof || m.slot != k) continue;
           if (!ctx_->th->verify(m.thsig, round2_digest(k, m.value))) continue;
           if (!ctx_->commits->has(id_, k)) {
@@ -260,16 +260,8 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
     return static_cast<NodeId>((s - 1) % n);
   };
 
-  Accounting<Msg> acc;
-  acc.size_bits = [wire = ctx.wire](const Msg& m) {
-    return size_bits(m, wire);
-  };
-  acc.kind = [](const Msg& m) { return static_cast<MsgKind>(m.kind); };
-  acc.slot = [sched = ctx.sched](const Msg& m, Round r) {
-    return m.slot != 0 ? m.slot : sched.slot_of(r);
-  };
-
-  Simulation<Msg> sim(cfg.n, std::max<std::uint32_t>(cfg.f, 1), &ledger, acc);
+  Sim sim(cfg.n, std::max<std::uint32_t>(cfg.f, 1), &ledger,
+          CostPolicy{ctx.wire, ctx.sched});
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<HsNode>(v, &ctx));
   }
@@ -285,7 +277,7 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
                  ctx.sched.rounds_per_slot());
 
   return assemble_result(
-      cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits,
+      cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits, sim.round_stats(),
       [&sim](NodeId v) { return sim.is_corrupt(v); }, ctx.sender_of,
       ctx.input_for_slot);
 }

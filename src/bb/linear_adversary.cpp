@@ -154,7 +154,7 @@ class AdaptiveEraseAdversary final : public Adversary<Msg> {
                                         std::make_unique<SilentDev>());
   }
 
-  void observe_round(Round r, std::span<const Envelope<Msg>> traffic,
+  void observe_round(Round r, const TrafficView<Msg>& traffic,
                      CorruptionCtl<Msg>& ctl) override {
     if (done_ || ctx_->f == 0) return;
     const Schedule& s = ctx_->sched;
@@ -164,7 +164,7 @@ class AdaptiveEraseAdversary final : public Adversary<Msg> {
     const NodeId sender = ctx_->sender_of(1);
     bool corrupted = false;
     for (std::size_t idx = 0; idx < traffic.size(); ++idx) {
-      const auto& env = traffic[idx];
+      const auto env = traffic[idx];
       if (env.from != sender || env.msg.kind != Kind::kPropose) continue;
       if (!corrupted) {
         ctl.corrupt(sender);

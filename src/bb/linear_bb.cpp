@@ -77,6 +77,10 @@ std::uint64_t size_bits(const Msg& m, const WireModel& wire) {
   return bits;
 }
 
+std::uint64_t CostPolicy::size_bits(const Msg& m) const {
+  return linear::size_bits(m, wire);
+}
+
 Digest vote_digest(Slot k, Epoch i, Value m) {
   Encoder e;
   e.put_tag("vote");
@@ -332,12 +336,12 @@ bool LinearNode::validate_proposal(const Msg& m, NodeId leader) const {
   return true;
 }
 
-void LinearNode::process_inbox(Round r, std::span<const Envelope<Msg>> inbox,
+void LinearNode::process_inbox(Round r, std::span<const Delivery<Msg>> inbox,
                                RoundApi<Msg>& api) {
   std::fill(fresh_accuse_from_.begin(), fresh_accuse_from_.end(), 0);
   fresh_pairs_.clear();
   for (const auto& env : inbox) {
-    const Msg& m = env.msg;
+    const Msg& m = env.msg();
     switch (m.kind) {
       case Kind::kAccuse:
         handle_accuse(m, false, api);
@@ -486,11 +490,11 @@ void LinearNode::do_propose(RoundApi<Msg>& api) {
   out_multicast(api, m);
 }
 
-void LinearNode::do_propagate1(std::span<const Envelope<Msg>> inbox,
+void LinearNode::do_propagate1(std::span<const Delivery<Msg>> inbox,
                                RoundApi<Msg>& api) {
   const NodeId leader = cur_leader();
   for (const auto& env : inbox) {
-    const Msg& m = env.msg;
+    const Msg& m = env.msg();
     if (m.kind != Kind::kPropose) continue;
     if (!validate_proposal(m, leader)) continue;
     if (std::find(prop_values_seen_.begin(), prop_values_seen_.end(),
@@ -578,11 +582,11 @@ void LinearNode::do_certificate(RoundApi<Msg>& api) {
   out_multicast(api, m);
 }
 
-void LinearNode::do_propagate2(std::span<const Envelope<Msg>> inbox,
+void LinearNode::do_propagate2(std::span<const Delivery<Msg>> inbox,
                                RoundApi<Msg>& api) {
   if (epoch_got_cert_) return;
   for (const auto& env : inbox) {
-    const Msg& m = env.msg;
+    const Msg& m = env.msg();
     if (m.kind != Kind::kCert || m.slot != cur_slot_ ||
         m.epoch != cur_epoch_) {
       continue;
@@ -678,12 +682,12 @@ void LinearNode::respond_to_querier(NodeId v, RoundApi<Msg>& api) {
   out(api, v, resp);
 }
 
-void LinearNode::do_respond1(std::span<const Envelope<Msg>> inbox,
+void LinearNode::do_respond1(std::span<const Delivery<Msg>> inbox,
                              RoundApi<Msg>& api) {
   if (!have_commit_proof_ || !ctx_->opts.use_query_path) return;
   BitVec answered(ctx_->n);
   for (const auto& env : inbox) {
-    const Msg& m = env.msg;
+    const Msg& m = env.msg();
     if (m.kind != Kind::kQuery1 || m.slot != cur_slot_ ||
         m.epoch != cur_epoch_) {
       continue;
@@ -742,12 +746,12 @@ Msg LinearNode::build_query2() const {
   return m;
 }
 
-void LinearNode::do_respond2(std::span<const Envelope<Msg>> inbox,
+void LinearNode::do_respond2(std::span<const Delivery<Msg>> inbox,
                              RoundApi<Msg>& api) {
   if (!have_commit_proof_ || !ctx_->opts.use_query_path) return;
   BitVec answered(ctx_->n);
   for (const auto& env : inbox) {
-    const Msg& m = env.msg;
+    const Msg& m = env.msg();
     if (m.slot != cur_slot_ || m.epoch != cur_epoch_) continue;
     if (m.kind == Kind::kQuery2) {
       const NodeId v = env.from;
@@ -773,8 +777,8 @@ void LinearNode::do_respond2(std::span<const Envelope<Msg>> inbox,
   }
 }
 
-void LinearNode::on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                          std::span<const Envelope<Msg>> rushed,
+void LinearNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                          const TrafficView<Msg>& rushed,
                           RoundApi<Msg>& api) {
   (void)rushed;
   round_ = r;
@@ -885,16 +889,7 @@ RunResult run_linear(const LinearConfig& cfg) {
     return static_cast<NodeId>((s - 1) % n);
   };
 
-  Accounting<Msg> acc;
-  acc.size_bits = [wire = ctx.wire](const Msg& m) {
-    return size_bits(m, wire);
-  };
-  acc.kind = [](const Msg& m) { return static_cast<MsgKind>(m.kind); };
-  acc.slot = [sched = ctx.sched](const Msg& m, Round r) {
-    return m.slot != 0 ? m.slot : sched.slot_of(r);
-  };
-
-  Simulation<Msg> sim(cfg.n, cfg.f, &ledger, acc);
+  Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire, ctx.sched});
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<LinearNode>(v, &ctx));
   }
@@ -921,6 +916,7 @@ RunResult run_linear(const LinearConfig& cfg) {
   res.kind_names = ledger.kind_names();
   res.per_kind_bits = ledger.per_kind();
   res.commits = commits;
+  res.round_stats = sim.round_stats();
   res.corrupt.resize(cfg.n);
   for (NodeId v = 0; v < cfg.n; ++v) res.corrupt[v] = sim.is_corrupt(v);
   res.senders.resize(cfg.slots + 1, kNoNode);

@@ -159,6 +159,21 @@ struct Schedule {
   }
 };
 
+/// Accounting policy, evaluated by the simulator once per traffic record
+/// (once per multicast, once per unicast — never per delivery).
+struct CostPolicy {
+  WireModel wire;
+  Schedule sched;
+
+  std::uint64_t size_bits(const Msg& m) const;
+  MsgKind kind(const Msg& m) const { return static_cast<MsgKind>(m.kind); }
+  Slot slot(const Msg& m, Round sent_round) const {
+    return m.slot != 0 ? m.slot : sched.slot_of(sent_round);
+  }
+};
+
+using Sim = Simulation<Msg, CostPolicy>;
+
 /// Read-only execution context shared by all actors of one run.
 struct Context {
   std::uint32_t n = 0;
@@ -219,8 +234,8 @@ class LinearNode final : public Actor<Msg> {
   LinearNode(NodeId id, const Context* ctx,
              std::unique_ptr<Deviation> deviation = nullptr);
 
-  void on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                std::span<const Envelope<Msg>> rushed,
+  void on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                const TrafficView<Msg>& rushed,
                 RoundApi<Msg>& api) override;
 
   // ---- Introspection (tests + deviations) ----
@@ -246,7 +261,7 @@ class LinearNode final : public Actor<Msg> {
 
  private:
   // Inbox processing: the "at any point" (*) rules plus state updates.
-  void process_inbox(Round r, std::span<const Envelope<Msg>> inbox,
+  void process_inbox(Round r, std::span<const Delivery<Msg>> inbox,
                      RoundApi<Msg>& api);
   void handle_accuse(const Msg& m, bool forwarded, RoundApi<Msg>& api);
   void maybe_commit(Slot k, Epoch j, Value v, const ThresholdSig& proof,
@@ -256,18 +271,18 @@ class LinearNode final : public Actor<Msg> {
   // Offset-specific progress steps.
   void do_collect(RoundApi<Msg>& api);
   void do_propose(RoundApi<Msg>& api);
-  void do_propagate1(std::span<const Envelope<Msg>> inbox,
+  void do_propagate1(std::span<const Delivery<Msg>> inbox,
                      RoundApi<Msg>& api);
   void do_vote(RoundApi<Msg>& api);
   void do_certificate(RoundApi<Msg>& api);
-  void do_propagate2(std::span<const Envelope<Msg>> inbox,
+  void do_propagate2(std::span<const Delivery<Msg>> inbox,
                      RoundApi<Msg>& api);
   void do_commit(RoundApi<Msg>& api);
   void do_query1(RoundApi<Msg>& api);
-  void do_respond1(std::span<const Envelope<Msg>> inbox, RoundApi<Msg>& api);
+  void do_respond1(std::span<const Delivery<Msg>> inbox, RoundApi<Msg>& api);
   void respond_to_querier(NodeId querier, RoundApi<Msg>& api);
   void do_query2(RoundApi<Msg>& api);
-  void do_respond2(std::span<const Envelope<Msg>> inbox, RoundApi<Msg>& api);
+  void do_respond2(std::span<const Delivery<Msg>> inbox, RoundApi<Msg>& api);
 
   void reset_slot(Slot k);
   void reset_epoch(Epoch i);
@@ -361,8 +376,8 @@ struct LinearConfig {
   std::function<NodeId(Slot)> sender_of;
   /// Test hooks: called after every simulated round / once before
   /// teardown, with access to the live simulation (actors included).
-  std::function<void(Round, Simulation<Msg>&)> on_round_end;
-  std::function<void(Simulation<Msg>&)> inspect;
+  std::function<void(Round, Sim&)> on_round_end;
+  std::function<void(Sim&)> inspect;
 };
 
 RunResult run_linear(const LinearConfig& cfg);

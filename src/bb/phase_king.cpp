@@ -74,8 +74,8 @@ class PkNode final : public Actor<Msg> {
          std::uint64_t seed)
       : id_(id), ctx_(ctx), dev_(std::move(dev)), rng_(seed ^ (id + 1)) {}
 
-  void on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                std::span<const Envelope<Msg>> rushed,
+  void on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                const TrafficView<Msg>& rushed,
                 RoundApi<Msg>& api) override {
     (void)rushed;
     const Schedule& sched = ctx_->sched;
@@ -116,10 +116,10 @@ class PkNode final : public Actor<Msg> {
     if (pending_ && step == 0) {
       Value king_value = kBotValue;
       for (const auto& env : inbox) {
-        if (env.msg.kind == Kind::kKing && env.msg.slot == k &&
-            env.msg.phase == pending_phase_ &&
+        if (env.msg().kind == Kind::kKing && env.msg().slot == k &&
+            env.msg().phase == pending_phase_ &&
             env.from == pending_phase_ /* king of phase p is node p */) {
-          king_value = msg_value(env.msg);
+          king_value = msg_value(env.msg());
           break;
         }
       }
@@ -137,9 +137,9 @@ class PkNode final : public Actor<Msg> {
       case 0: {  // R1: pick up the sender value (phase 0), multicast V
         if (p == 0) {
           for (const auto& env : inbox) {
-            if (env.msg.kind == Kind::kSend && env.msg.slot == k &&
+            if (env.msg().kind == Kind::kSend && env.msg().slot == k &&
                 env.from == ctx_->sender_of(k)) {
-              v_ = msg_value(env.msg);
+              v_ = msg_value(env.msg());
               break;
             }
           }
@@ -150,9 +150,9 @@ class PkNode final : public Actor<Msg> {
       case 1: {  // R2: compute pref from R1, multicast it
         Tally t;
         for (const auto& env : inbox) {
-          if (env.msg.kind == Kind::kR1 && env.msg.slot == k &&
-              env.msg.phase == p) {
-            t.add(env.msg);
+          if (env.msg().kind == Kind::kR1 && env.msg().slot == k &&
+              env.msg().phase == p) {
+            t.add(env.msg());
           }
         }
         multicast(api, make_msg(Kind::kR2, k, p, t.with_quorum(quorum)));
@@ -161,9 +161,9 @@ class PkNode final : public Actor<Msg> {
       case 2: {  // R3: compute (w*, c*) from R2; the king speaks
         Tally t;
         for (const auto& env : inbox) {
-          if (env.msg.kind == Kind::kR2 && env.msg.slot == k &&
-              env.msg.phase == p) {
-            t.add(env.msg);
+          if (env.msg().kind == Kind::kR2 && env.msg().slot == k &&
+              env.msg().phase == p) {
+            t.add(env.msg());
           }
         }
         auto [wstar, cstar] = t.top();
@@ -272,16 +272,8 @@ RunResult run_phase_king(const PkConfig& cfg) {
     return static_cast<NodeId>((s - 1) % n);
   };
 
-  Accounting<Msg> acc;
-  acc.size_bits = [wire = ctx.wire](const Msg& m) {
-    return size_bits(m, wire);
-  };
-  acc.kind = [](const Msg& m) { return static_cast<MsgKind>(m.kind); };
-  acc.slot = [sched = ctx.sched](const Msg& m, Round r) {
-    return m.slot != 0 ? m.slot : sched.slot_of(r);
-  };
-
-  Simulation<Msg> sim(cfg.n, cfg.f == 0 ? 1 : cfg.f, &ledger, acc);
+  Sim sim(cfg.n, cfg.f == 0 ? 1 : cfg.f, &ledger,
+          CostPolicy{ctx.wire, ctx.sched});
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<PkNode>(v, &ctx, nullptr, cfg.seed));
   }
@@ -294,7 +286,7 @@ RunResult run_phase_king(const PkConfig& cfg) {
                  ctx.sched.rounds_per_slot());
 
   return assemble_result(
-      cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits,
+      cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits, sim.round_stats(),
       [&sim](NodeId v) { return sim.is_corrupt(v); }, ctx.sender_of,
       ctx.input_for_slot);
 }

@@ -71,6 +71,22 @@ struct Context {
 
 std::uint64_t size_bits(const Msg& m, const WireModel& wire);
 
+/// Accounting policy, evaluated once per traffic record.
+struct CostPolicy {
+  WireModel wire;
+  Schedule sched;
+
+  std::uint64_t size_bits(const Msg& m) const {
+    return pk::size_bits(m, wire);
+  }
+  MsgKind kind(const Msg& m) const { return static_cast<MsgKind>(m.kind); }
+  Slot slot(const Msg& m, Round sent_round) const {
+    return m.slot != 0 ? m.slot : sched.slot_of(sent_round);
+  }
+};
+
+using Sim = Simulation<Msg, CostPolicy>;
+
 struct PkConfig {
   std::uint32_t n = 10;
   std::uint32_t f = 3;  ///< must satisfy 3f < n

@@ -53,8 +53,8 @@ void QuadNode::vote_corrupt(NodeId target, RoundApi<Msg>& api) {
   api.multicast(m);
 }
 
-void QuadNode::on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                        std::span<const Envelope<Msg>> rushed,
+void QuadNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                        const TrafficView<Msg>& rushed,
                         RoundApi<Msg>& api) {
   (void)rushed;
   const Schedule& sched = ctx_->sched;
@@ -76,7 +76,7 @@ void QuadNode::on_round(Round r, std::span<const Envelope<Msg>> inbox,
   // (removals keep flowing during the DS phase — transferability needs
   // it); corrupt votes are recorded here.
   for (const auto& env : inbox) {
-    const Msg& m = env.msg;
+    const Msg& m = env.msg();
     if (m.kind == Kind::kCorrupt) {
       const NodeId voter = m.sig.signer;
       const NodeId target = m.accused;
@@ -178,16 +178,7 @@ RunResult run_quadratic(const QuadConfig& cfg) {
     return static_cast<NodeId>((s - 1) % n);
   };
 
-  Accounting<Msg> acc;
-  acc.size_bits = [wire = ctx.wire](const Msg& m) {
-    return size_bits(m, wire);
-  };
-  acc.kind = [](const Msg& m) { return static_cast<MsgKind>(m.kind); };
-  acc.slot = [sched = ctx.sched](const Msg& m, Round r) {
-    return m.slot != 0 ? m.slot : sched.slot_of(r);
-  };
-
-  Simulation<Msg> sim(cfg.n, cfg.f, &ledger, acc);
+  Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire, ctx.sched});
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<QuadNode>(v, &ctx));
   }
@@ -215,6 +206,7 @@ RunResult run_quadratic(const QuadConfig& cfg) {
   res.kind_names = ledger.kind_names();
   res.per_kind_bits = ledger.per_kind();
   res.commits = commits;
+  res.round_stats = sim.round_stats();
   res.corrupt.resize(cfg.n);
   for (NodeId v = 0; v < cfg.n; ++v) res.corrupt[v] = sim.is_corrupt(v);
   res.senders.resize(cfg.slots + 1, kNoNode);

@@ -72,8 +72,8 @@ class QuadNode final : public Actor<Msg> {
   QuadNode(NodeId id, const Context* ctx,
            std::unique_ptr<Deviation> deviation = nullptr);
 
-  void on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                std::span<const Envelope<Msg>> rushed,
+  void on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                const TrafficView<Msg>& rushed,
                 RoundApi<Msg>& api) override;
 
   NodeId id() const { return id_; }
@@ -118,8 +118,8 @@ struct QuadConfig {
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;
   /// Test hooks (see linear::LinearConfig).
-  std::function<void(Round, Simulation<Msg>&)> on_round_end;
-  std::function<void(Simulation<Msg>&)> inspect;
+  std::function<void(Round, Sim&)> on_round_end;
+  std::function<void(Sim&)> inspect;
 };
 
 RunResult run_quadratic(const QuadConfig& cfg);

@@ -41,6 +41,10 @@ std::uint64_t size_bits(const Msg& m, const WireModel& wire) {
   return bits;
 }
 
+std::uint64_t CostPolicy::size_bits(const Msg& m) const {
+  return quad::size_bits(m, wire);
+}
+
 Digest prop_digest(Slot k, Value v) {
   Encoder e;
   e.put_tag("tc-prop");

@@ -85,6 +85,20 @@ struct Context {
   std::function<NodeId(Slot)> sender_of;
 };
 
+/// Accounting policy, evaluated once per traffic record.
+struct CostPolicy {
+  WireModel wire;
+  Schedule sched;
+
+  std::uint64_t size_bits(const Msg& m) const;
+  MsgKind kind(const Msg& m) const { return static_cast<MsgKind>(m.kind); }
+  Slot slot(const Msg& m, Round sent_round) const {
+    return m.slot != 0 ? m.slot : sched.slot_of(sent_round);
+  }
+};
+
+using Sim = Simulation<Msg, CostPolicy>;
+
 /// Per-node TrustCast state machine. Owns the node's persistent trust
 /// graph and accusation dedup state; the caller (QuadNode or the
 /// standalone test harness) drives handle() for every inbound message and

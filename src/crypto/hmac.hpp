@@ -14,4 +14,18 @@ Digest hmac_sha256(std::span<const std::uint8_t> key,
 
 Digest hmac_sha256(const Digest& key, const Digest& message);
 
+/// A fixed HMAC key with the ipad/opad pad blocks pre-compressed: mac()
+/// costs two SHA-256 block compressions instead of four. Produces exactly
+/// the same MAC as hmac_sha256(key, message).
+class HmacKey {
+ public:
+  explicit HmacKey(const Digest& key);
+
+  Digest mac(const Digest& message) const;
+
+ private:
+  Sha256Midstate inner_;
+  Sha256Midstate outer_;
+};
+
 }  // namespace ambb

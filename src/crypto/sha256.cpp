@@ -32,6 +32,16 @@ Sha256::Sha256()
     : state_{0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
              0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19} {}
 
+Sha256::Sha256(const Sha256Midstate& mid)
+    : state_(mid.state), total_len_(mid.processed_bytes) {
+  AMBB_CHECK(mid.processed_bytes % 64 == 0);
+}
+
+Sha256Midstate Sha256::midstate() const {
+  AMBB_CHECK(!finalized_ && buffer_len_ == 0);
+  return Sha256Midstate{state_, total_len_};
+}
+
 void Sha256::process_block(const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {

@@ -12,9 +12,19 @@ namespace ambb {
 
 using Digest = std::array<std::uint8_t, 32>;
 
+/// Compression-function state captured after an integral number of 64-byte
+/// blocks. Lets a fixed prefix (e.g. an HMAC pad block) be compressed once
+/// and resumed for every message sharing it.
+struct Sha256Midstate {
+  std::array<std::uint32_t, 8> state;
+  std::uint64_t processed_bytes = 0;
+};
+
 class Sha256 {
  public:
   Sha256();
+  /// Resume hashing as if `mid.processed_bytes` bytes had been consumed.
+  explicit Sha256(const Sha256Midstate& mid);
 
   void update(std::span<const std::uint8_t> data);
   void update(const std::string& s);
@@ -25,6 +35,9 @@ class Sha256 {
   /// One-shot convenience.
   static Digest hash(std::span<const std::uint8_t> data);
   static Digest hash(const std::string& s);
+
+  /// Snapshot the state; only valid on a 64-byte block boundary.
+  Sha256Midstate midstate() const;
 
  private:
   void process_block(const std::uint8_t* block);

@@ -23,6 +23,19 @@ Digest tag_digest(const char* domain, const Digest& d) {
   return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
                                                     e.bytes().size()));
 }
+
+std::uint64_t fnv1a_str(const char* s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (; *s != '\0'; ++s) {
+    h ^= static_cast<std::uint8_t>(*s);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// Memoization bound; when reached the cache is dropped and rebuilt, which
+// only costs recomputation (the cached function is pure).
+constexpr std::size_t kMacCacheCap = std::size_t{1} << 20;
 }  // namespace
 
 KeyRegistry::KeyRegistry(std::uint32_t n, std::uint64_t master_seed) : n_(n) {
@@ -33,30 +46,43 @@ KeyRegistry::KeyRegistry(std::uint32_t n, std::uint64_t master_seed) : n_(n) {
   master_key_ = Sha256::hash(std::span<const std::uint8_t>(
       e.bytes().data(), e.bytes().size()));
   node_keys_.reserve(n);
+  node_hmac_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     node_keys_.push_back(derive_key(master_key_, i));
+    node_hmac_.emplace_back(node_keys_.back());
   }
+  master_hmac_.emplace_back(master_key_);
+}
+
+Digest KeyRegistry::cached_mac(std::uint32_t owner, const HmacKey& key,
+                               const char* domain, const Digest& d) const {
+  const MacInput in{owner, fnv1a_str(domain), d};
+  const auto it = mac_cache_.find(in);
+  if (it != mac_cache_.end()) return it->second;
+  const Digest out = key.mac(tag_digest(domain, d));
+  if (mac_cache_.size() >= kMacCacheCap) mac_cache_.clear();
+  mac_cache_.emplace(in, out);
+  return out;
 }
 
 Signature KeyRegistry::sign(NodeId signer, const Digest& d) const {
   AMBB_CHECK(signer < n_);
-  return Signature{signer, hmac_sha256(node_keys_[signer],
-                                       tag_digest("sig", d))};
+  return Signature{signer, cached_mac(signer, node_hmac_[signer], "sig", d)};
 }
 
 bool KeyRegistry::verify(const Signature& sig, const Digest& d) const {
   if (sig.signer >= n_) return false;
-  return sig.mac == hmac_sha256(node_keys_[sig.signer], tag_digest("sig", d));
+  return sig.mac == cached_mac(sig.signer, node_hmac_[sig.signer], "sig", d);
 }
 
 Digest KeyRegistry::mac_as(NodeId i, const char* domain,
                            const Digest& d) const {
   AMBB_CHECK(i < n_);
-  return hmac_sha256(node_keys_[i], tag_digest(domain, d));
+  return cached_mac(i, node_hmac_[i], domain, d);
 }
 
 Digest KeyRegistry::master_mac(const char* domain, const Digest& d) const {
-  return hmac_sha256(master_key_, tag_digest(domain, d));
+  return cached_mac(kMasterOwner, master_hmac_[0], domain, d);
 }
 
 }  // namespace ambb

@@ -14,9 +14,11 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
+#include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 
 namespace ambb {
@@ -49,9 +51,39 @@ class KeyRegistry {
   Digest master_mac(const char* domain, const Digest& d) const;
 
  private:
+  /// (key owner, domain tag, digest) — the full input of one MAC. All four
+  /// public operations are pure functions of this triple, so results are
+  /// memoized: in a broadcast run every recipient re-verifies the same
+  /// signature, and only the first verification pays for the HMAC.
+  struct MacInput {
+    std::uint32_t owner;  ///< node index, or kMasterOwner
+    std::uint64_t domain; ///< FNV-1a of the domain-separation tag
+    Digest digest;
+
+    bool operator==(const MacInput&) const = default;
+  };
+  struct MacInputHash {
+    std::size_t operator()(const MacInput& k) const {
+      // The digest is SHA-256 output; its first bytes are already uniform.
+      std::uint64_t h = 0;
+      for (int i = 0; i < 8; ++i) h = h << 8 | k.digest[i];
+      return static_cast<std::size_t>(h ^ k.domain ^
+                                      (std::uint64_t{k.owner} << 32));
+    }
+  };
+
+  static constexpr std::uint32_t kMasterOwner = 0xFFFFFFFFu;
+
+  Digest cached_mac(std::uint32_t owner, const HmacKey& key,
+                    const char* domain, const Digest& d) const;
+
   std::uint32_t n_;
   Digest master_key_;
   std::vector<Digest> node_keys_;
+  std::vector<HmacKey> node_hmac_;
+  std::vector<HmacKey> master_hmac_;  ///< single element; vector avoids a
+                                      ///< default-constructible requirement
+  mutable std::unordered_map<MacInput, Digest, MacInputHash> mac_cache_;
 };
 
 }  // namespace ambb

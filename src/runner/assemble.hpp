@@ -6,16 +6,19 @@
 
 #include "runner/result.hpp"
 #include "sim/cost.hpp"
+#include "sim/stats.hpp"
 
 namespace ambb {
 
 inline RunResult assemble_result(
     std::uint32_t n, std::uint32_t f, Slot slots, Round rounds,
     const CostLedger& ledger, const CommitLog& commits,
+    const std::vector<RoundStats>& round_stats,
     const std::function<bool(NodeId)>& is_corrupt,
     const std::function<NodeId(Slot)>& sender_of,
     const std::function<Value(Slot)>& input_for_slot) {
   RunResult res;
+  res.round_stats = round_stats;
   res.n = n;
   res.f = f;
   res.slots = slots;

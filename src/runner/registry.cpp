@@ -1,6 +1,7 @@
 #include "runner/registry.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "bb/dolev_strong.hpp"
 #include "bb/hotstuff_demo.hpp"
@@ -35,8 +36,11 @@ std::vector<ProtocolInfo> build() {
       "none",  "silent", "equivocate",    "selective", "flood",
       "mixed", "drop",   "chaos",         "adaptive-erase"};
   auto lin_max_f = [](std::uint32_t n) {
-    // f <= (1/2 - eps) n with eps = 0.1
-    return static_cast<std::uint32_t>(0.4 * n);
+    // f <= (1/2 - eps) n with eps = 0.1, i.e. floor(2n/5) — exact integer
+    // arithmetic; 0.4 is not representable in binary floating point, so
+    // static_cast<uint32_t>(0.4 * n) leaves the bound at the mercy of
+    // rounding.
+    return (2 * n) / 5;
   };
 
   out.push_back(ProtocolInfo{
@@ -190,6 +194,11 @@ const ProtocolInfo& protocol(const std::string& name) {
     if (p.name == name) return p;
   }
   AMBB_CHECK_MSG(false, "unknown protocol '" << name << "'");
+  // AMBB_CHECK_MSG always throws, but it expands to a do/while the
+  // compiler cannot see through; without this the function falls off the
+  // end of a non-void return path (-Wreturn-type / UB if the macro ever
+  // changed).
+  std::abort();
 }
 
 }  // namespace ambb

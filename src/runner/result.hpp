@@ -8,6 +8,7 @@
 
 #include "common/types.hpp"
 #include "sim/commit_log.hpp"
+#include "sim/stats.hpp"
 
 namespace ambb {
 
@@ -29,6 +30,12 @@ struct RunResult {
   std::vector<std::uint8_t> corrupt;   ///< final corruption flags, size n
   std::vector<NodeId> senders;         ///< sender of each slot, [0] unused
   std::vector<Value> sender_inputs;    ///< honest sender's input per slot
+
+  /// One entry per executed round (see sim/stats.hpp).
+  std::vector<RoundStats> round_stats;
+
+  /// Aggregate of round_stats (all zeros if the driver did not fill it).
+  RoundStatsSummary stats_summary() const { return summarize(round_stats); }
 
   /// Average honest bits per slot over the first `upto` slots (all if 0).
   double amortized(Slot upto = 0) const;

@@ -24,6 +24,21 @@ void CostLedger::charge(Slot slot, MsgKind kind, std::uint64_t bits,
   honest_msgs_ += 1;
 }
 
+void CostLedger::charge_n(Slot slot, MsgKind kind, std::uint64_t bits,
+                          bool honest_sender, std::uint64_t count) {
+  AMBB_CHECK_MSG(kind < per_kind_.size(), "unknown message kind");
+  if (count == 0) return;
+  if (!honest_sender) {
+    adversary_total_ += bits * count;
+    return;
+  }
+  if (slot >= per_slot_.size()) per_slot_.resize(slot + 1, 0);
+  per_slot_[slot] += bits * count;
+  per_kind_[kind] += bits * count;
+  honest_total_ += bits * count;
+  honest_msgs_ += count;
+}
+
 std::uint64_t CostLedger::honest_bits_slot(Slot slot) const {
   return slot < per_slot_.size() ? per_slot_[slot] : 0;
 }

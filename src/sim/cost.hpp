@@ -24,6 +24,11 @@ class CostLedger {
 
   void charge(Slot slot, MsgKind kind, std::uint64_t bits, bool honest_sender);
 
+  /// Charge `count` identical deliveries in one call (a multicast record's
+  /// surviving fan-out). Exactly equivalent to `count` charge() calls.
+  void charge_n(Slot slot, MsgKind kind, std::uint64_t bits,
+                bool honest_sender, std::uint64_t count);
+
   std::uint64_t honest_bits_total() const { return honest_total_; }
   std::uint64_t adversary_bits_total() const { return adversary_total_; }
   std::uint64_t honest_msgs_total() const { return honest_msgs_; }

@@ -11,8 +11,21 @@
 // The simulator is templated on the protocol's message type: each protocol
 // family defines one message struct plus a SizeModel mapping messages to
 // exact wire bits and accounting kinds.
+//
+// Traffic representation: a round's traffic is a vector of TrafficRecords.
+// A unicast is one record; a multicast is ALSO one record — the payload is
+// stored once and fanned out to the n per-node inboxes only at delivery
+// time, as a (sender, const Msg*) pair. The adversary still addresses
+// *individual* (sender, recipient) deliveries: record i with fanout c_i
+// owns the half-open delivery-index range [base_i, base_i + c_i), where
+// base_i = sum of earlier fanouts, and a multicast's deliveries appear in
+// recipient order 0..n-1. This enumerates deliveries in exactly the order
+// the former eager-copy representation enumerated envelopes, so erase
+// indices (and therefore seeded adversary decisions) are unchanged.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -22,23 +35,121 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "sim/cost.hpp"
+#include "sim/stats.hpp"
 
 namespace ambb {
 
+/// One message as seen by its recipient. The payload lives in the
+/// simulator's traffic log for the previous round and is shared by all
+/// recipients of a multicast; it stays valid for the whole round.
 template <typename Msg>
-struct Envelope {
+struct Delivery {
   NodeId from = kNoNode;
-  NodeId to = kNoNode;
-  Msg msg{};
-  bool free_of_charge = false;  ///< self-delivery of a multicast
-  bool erased = false;          ///< removed after-the-fact by the adversary
+  const Msg* payload = nullptr;
+
+  const Msg& msg() const { return *payload; }
+};
+
+/// One round of emitted traffic as shared records.
+template <typename Msg>
+class TrafficLog {
+ public:
+  struct Record {
+    NodeId from = kNoNode;
+    NodeId to = kNoNode;  ///< kNoNode encodes "multicast to all n"
+    Msg msg{};
+    std::size_t base = 0;  ///< first delivery index owned by this record
+
+    bool is_multicast() const { return to == kNoNode; }
+  };
+
+  void reset(std::uint32_t n) {
+    n_ = n;
+    records_.clear();
+    deliveries_ = 0;
+  }
+
+  void add_unicast(NodeId from, NodeId to, Msg m) {
+    records_.push_back(Record{from, to, std::move(m), deliveries_});
+    deliveries_ += 1;
+  }
+
+  void add_multicast(NodeId from, const Msg& m) {
+    records_.push_back(Record{from, kNoNode, m, deliveries_});
+    deliveries_ += n_;
+  }
+
+  std::uint32_t n() const { return n_; }
+  std::size_t deliveries() const { return deliveries_; }
+  const std::vector<Record>& records() const { return records_; }
+
+  std::size_t fanout(const Record& rec) const {
+    return rec.is_multicast() ? n_ : 1;
+  }
+
+  /// Index of the record owning delivery index d.
+  std::size_t record_of(std::size_t d) const {
+    AMBB_CHECK(d < deliveries_);
+    // Bases are strictly increasing; find the last base <= d.
+    auto it = std::upper_bound(
+        records_.begin(), records_.end(), d,
+        [](std::size_t x, const Record& r) { return x < r.base; });
+    return static_cast<std::size_t>((it - records_.begin()) - 1);
+  }
+
+  NodeId recipient_of(const Record& rec, std::size_t d) const {
+    return rec.is_multicast() ? static_cast<NodeId>(d - rec.base) : rec.to;
+  }
+
+ private:
+  std::uint32_t n_ = 0;
+  std::vector<Record> records_;
+  std::size_t deliveries_ = 0;
+};
+
+/// Read-only per-delivery view of (a prefix of) a TrafficLog, used for the
+/// rushing adversary and observe_round. Indexing is by delivery index (see
+/// the header comment); access goes through the log pointer, so the view
+/// stays valid while Byzantine actors append to the same log.
+template <typename Msg>
+class TrafficView {
+ public:
+  struct DeliveryRef {
+    NodeId from;
+    NodeId to;
+    const Msg& msg;
+  };
+
+  TrafficView() = default;
+  TrafficView(const TrafficLog<Msg>* log, std::size_t limit)
+      : log_(log), limit_(limit) {}
+
+  std::size_t size() const { return limit_; }
+  bool empty() const { return limit_ == 0; }
+
+  DeliveryRef operator[](std::size_t d) const {
+    AMBB_CHECK(d < limit_);
+    const auto& recs = log_->records();
+    // Cursor makes sequential scans O(1) amortized instead of O(log R).
+    if (cursor_ >= recs.size() || d < recs[cursor_].base ||
+        d >= recs[cursor_].base + log_->fanout(recs[cursor_])) {
+      cursor_ = log_->record_of(d);
+    }
+    const auto& rec = recs[cursor_];
+    return DeliveryRef{rec.from, log_->recipient_of(rec, d), rec.msg};
+  }
+
+ private:
+  const TrafficLog<Msg>* log_ = nullptr;
+  std::size_t limit_ = 0;
+  mutable std::size_t cursor_ = 0;
 };
 
 /// Sending interface handed to an actor for one round.
 template <typename Msg>
 class RoundApi {
  public:
-  RoundApi(NodeId self, std::uint32_t n, std::vector<Envelope<Msg>>* out)
+  RoundApi(NodeId self, std::uint32_t n, TrafficLog<Msg>* out)
       : self_(self), n_(n), out_(out) {}
 
   NodeId self() const { return self_; }
@@ -46,21 +157,18 @@ class RoundApi {
 
   void send(NodeId to, Msg m) {
     AMBB_CHECK(to < n_);
-    out_->push_back(Envelope<Msg>{self_, to, std::move(m), false, false});
+    out_->add_unicast(self_, to, std::move(m));
   }
 
-  /// Send to all n nodes. The self-copy is delivered but not charged:
-  /// the paper's multicast costs n-1 transmissions.
-  void multicast(const Msg& m) {
-    for (NodeId v = 0; v < n_; ++v) {
-      out_->push_back(Envelope<Msg>{self_, v, m, v == self_, false});
-    }
-  }
+  /// Send to all n nodes. Stored as ONE shared record; the self-copy is
+  /// delivered but not charged: the paper's multicast costs n-1
+  /// transmissions.
+  void multicast(const Msg& m) { out_->add_multicast(self_, m); }
 
  private:
   NodeId self_;
   std::uint32_t n_;
-  std::vector<Envelope<Msg>>* out_;
+  TrafficLog<Msg>* out_;
 };
 
 /// A node's protocol logic. One Actor instance persists across the entire
@@ -74,8 +182,8 @@ class Actor {
   /// this round. For Byzantine actors, `rushed_traffic` additionally holds
   /// the traffic already emitted by honest nodes in this same round
   /// (rushing adversary); it is empty for honest actors.
-  virtual void on_round(Round r, std::span<const Envelope<Msg>> inbox,
-                        std::span<const Envelope<Msg>> rushed_traffic,
+  virtual void on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                        const TrafficView<Msg>& rushed_traffic,
                         RoundApi<Msg>& api) = 0;
 };
 
@@ -89,9 +197,10 @@ class CorruptionCtl {
   /// corruption budget f is exhausted.
   virtual void corrupt(NodeId node) = 0;
 
-  /// Erase a message sent in the current round. Only messages whose
-  /// sender is (now) corrupt may be erased — after-the-fact removal.
-  virtual void erase(std::size_t traffic_index) = 0;
+  /// Erase one (sender, recipient) delivery of the current round, by its
+  /// delivery index. Only deliveries whose sender is (now) corrupt may be
+  /// erased — after-the-fact removal.
+  virtual void erase(std::size_t delivery_index) = 0;
 
   virtual bool is_corrupt(NodeId node) const = 0;
   virtual std::uint32_t corruption_budget_left() const = 0;
@@ -109,10 +218,9 @@ class Adversary {
   /// Byzantine replacement logic for a corrupted node.
   virtual std::unique_ptr<Actor<Msg>> actor_for(NodeId node) = 0;
 
-  /// Strongly adaptive step: observe all round-r traffic, optionally
-  /// corrupt more nodes and erase their round-r messages.
-  virtual void observe_round(Round r,
-                             std::span<const Envelope<Msg>> traffic,
+  /// Strongly adaptive step: observe all round-r traffic (per delivery),
+  /// optionally corrupt more nodes and erase their round-r deliveries.
+  virtual void observe_round(Round r, const TrafficView<Msg>& traffic,
                              CorruptionCtl<Msg>& ctl) {
     (void)r;
     (void)traffic;
@@ -120,8 +228,11 @@ class Adversary {
   }
 };
 
-/// Per-protocol hooks the simulation needs: exact wire size, accounting
-/// kind, and the slot an envelope's cost belongs to.
+/// Function-object accounting policy. Kept as the default Simulation
+/// policy for toy harnesses and tests; protocol drivers define concrete
+/// policy structs with inlineable members instead (the policy is evaluated
+/// once per traffic record — once per multicast, once per unicast — never
+/// per delivery).
 template <typename Msg>
 struct Accounting {
   std::function<std::uint64_t(const Msg&)> size_bits;
@@ -129,15 +240,15 @@ struct Accounting {
   std::function<Slot(const Msg&, Round sent_round)> slot;
 };
 
-template <typename Msg>
+template <typename Msg, typename Policy = Accounting<Msg>>
 class Simulation final : CorruptionCtl<Msg> {
  public:
   Simulation(std::uint32_t n, std::uint32_t f, CostLedger* ledger,
-             Accounting<Msg> accounting)
+             Policy policy)
       : n_(n),
         f_(f),
         ledger_(ledger),
-        accounting_(std::move(accounting)),
+        policy_(std::move(policy)),
         corrupt_(n, 0),
         actors_(n),
         inboxes_(n) {
@@ -178,49 +289,121 @@ class Simulation final : CorruptionCtl<Msg> {
     return f_ - corrupt_count_;
   }
 
+  /// One RoundStats per executed round.
+  const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
   /// Execute one lock-step round.
   void step() {
-    traffic_.clear();
+    using Clock = std::chrono::steady_clock;
+    RoundStats st;
+    st.round = round_;
+    const std::uint32_t corrupt_before = corrupt_count_;
+    const std::uint64_t honest_bits_before = ledger_->honest_bits_total();
+    const std::uint64_t adv_bits_before = ledger_->adversary_bits_total();
+
+    cur_.reset(n_);
+    erased_.clear();
 
     // 1. Honest actors act on their inboxes.
+    auto t0 = Clock::now();
     for (NodeId v = 0; v < n_; ++v) {
       if (corrupt_[v]) continue;
-      RoundApi<Msg> api(v, n_, &traffic_);
-      actors_[v]->on_round(round_, inboxes_[v], {}, api);
+      RoundApi<Msg> api(v, n_, &cur_);
+      actors_[v]->on_round(round_, inbox_of(v), TrafficView<Msg>{}, api);
     }
-    const std::size_t honest_traffic_end = traffic_.size();
+    const std::size_t honest_deliveries = cur_.deliveries();
+    auto t1 = Clock::now();
 
-    // 2. Byzantine actors act, rushing: they see the honest traffic.
+    // 2. Byzantine actors act, rushing: they see the honest traffic. The
+    //    view reads through the log, so it survives the appends Byzantine
+    //    actors make to the same log.
+    const TrafficView<Msg> rushed(&cur_, honest_deliveries);
     for (NodeId v = 0; v < n_; ++v) {
       if (!corrupt_[v]) continue;
-      RoundApi<Msg> api(v, n_, &traffic_);
-      actors_[v]->on_round(
-          round_, inboxes_[v],
-          std::span<const Envelope<Msg>>(traffic_.data(), honest_traffic_end),
-          api);
+      RoundApi<Msg> api(v, n_, &cur_);
+      actors_[v]->on_round(round_, inbox_of(v), rushed, api);
     }
+    auto t2 = Clock::now();
 
     // 3. Strongly adaptive step: adversary inspects all round traffic,
-    //    may corrupt senders and erase their messages.
+    //    may corrupt senders and erase their deliveries.
     if (adversary_ != nullptr) {
-      adversary_->observe_round(round_, traffic_, *this);
+      const TrafficView<Msg> all(&cur_, cur_.deliveries());
+      adversary_->observe_round(round_, all, *this);
     }
+    std::sort(erased_.begin(), erased_.end());
+    erased_.erase(std::unique(erased_.begin(), erased_.end()), erased_.end());
+    auto t3 = Clock::now();
 
-    // 4. Charge costs. A sender corrupted during step 3 is corrupt for
-    //    accounting purposes: its bits are not honest bits.
-    for (const auto& env : traffic_) {
-      if (env.erased || env.free_of_charge) continue;
-      ledger_->charge(accounting_.slot(env.msg, round_),
-                      accounting_.kind(env.msg),
-                      accounting_.size_bits(env.msg), !corrupt_[env.from]);
+    // 4. Charge costs: the policy runs once per RECORD, the charge covers
+    //    all its surviving non-free deliveries at once. A sender corrupted
+    //    during step 3 is corrupt for accounting purposes: its bits are
+    //    not honest bits.
+    {
+      auto er = erased_.begin();
+      for (const auto& rec : cur_.records()) {
+        const std::size_t fanout = cur_.fanout(rec);
+        std::uint64_t charged = fanout;
+        if (rec.is_multicast() && !erased_covers(rec.base + rec.from)) {
+          charged -= 1;  // the free self-copy (unless itself erased)
+        }
+        while (er != erased_.end() && *er < rec.base + fanout) {
+          charged -= 1;
+          ++er;
+        }
+        if (charged == 0) continue;
+        ledger_->charge_n(policy_.slot(rec.msg, round_),
+                          policy_.kind(rec.msg), policy_.size_bits(rec.msg),
+                          !corrupt_[rec.from], charged);
+      }
     }
+    auto t4 = Clock::now();
 
-    // 5. Deliver surviving messages for the next round.
+    // 5. Deliver surviving messages for the next round. Inboxes reference
+    //    the record payloads, so the log must outlive the next round's
+    //    sends: double-buffer and swap instead of clearing in place.
     for (auto& ib : inboxes_) ib.clear();
-    for (auto& env : traffic_) {
-      if (env.erased) continue;
-      inboxes_[env.to].push_back(std::move(env));
+    {
+      auto er = erased_.begin();
+      for (const auto& rec : cur_.records()) {
+        if (rec.is_multicast()) {
+          for (NodeId v = 0; v < n_; ++v) {
+            if (er != erased_.end() && *er == rec.base + v) {
+              ++er;
+              continue;
+            }
+            inboxes_[v].push_back(Delivery<Msg>{rec.from, &rec.msg});
+          }
+        } else {
+          if (er != erased_.end() && *er == rec.base) {
+            ++er;
+            continue;
+          }
+          inboxes_[rec.to].push_back(Delivery<Msg>{rec.from, &rec.msg});
+        }
+      }
     }
+    auto t5 = Clock::now();
+
+    st.records = static_cast<std::uint32_t>(cur_.records().size());
+    st.deliveries = cur_.deliveries();
+    st.honest_bits = ledger_->honest_bits_total() - honest_bits_before;
+    st.adversary_bits = ledger_->adversary_bits_total() - adv_bits_before;
+    st.erasures = static_cast<std::uint32_t>(erased_.size());
+    st.corruptions = corrupt_count_ - corrupt_before;
+    auto ns = [](Clock::time_point a, Clock::time_point b) {
+      return static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(b - a)
+              .count());
+    };
+    st.ns_honest = ns(t0, t1);
+    st.ns_byzantine = ns(t1, t2);
+    st.ns_adversary = ns(t2, t3);
+    st.ns_accounting = ns(t3, t4);
+    st.ns_delivery = ns(t4, t5);
+    round_stats_.push_back(st);
+
+    std::swap(cur_, prev_);
     ++round_;
   }
 
@@ -229,14 +412,22 @@ class Simulation final : CorruptionCtl<Msg> {
   }
 
  private:
+  std::span<const Delivery<Msg>> inbox_of(NodeId v) const {
+    return std::span<const Delivery<Msg>>(inboxes_[v]);
+  }
+
+  bool erased_covers(std::size_t d) const {
+    return std::binary_search(erased_.begin(), erased_.end(), d);
+  }
+
   void corrupt(NodeId node) override { do_corrupt(node); }
 
-  void erase(std::size_t traffic_index) override {
-    AMBB_CHECK(traffic_index < traffic_.size());
-    Envelope<Msg>& env = traffic_[traffic_index];
-    AMBB_CHECK_MSG(corrupt_[env.from],
+  void erase(std::size_t delivery_index) override {
+    AMBB_CHECK(delivery_index < cur_.deliveries());
+    const auto& rec = cur_.records()[cur_.record_of(delivery_index)];
+    AMBB_CHECK_MSG(corrupt_[rec.from],
                    "after-the-fact removal requires a corrupt sender");
-    env.erased = true;
+    erased_.push_back(delivery_index);
   }
 
   void do_corrupt(NodeId node) {
@@ -252,14 +443,20 @@ class Simulation final : CorruptionCtl<Msg> {
   std::uint32_t n_;
   std::uint32_t f_;
   CostLedger* ledger_;
-  Accounting<Msg> accounting_;
+  Policy policy_;
   Adversary<Msg>* adversary_ = nullptr;
   Round round_ = 0;
   std::vector<std::uint8_t> corrupt_;
   std::uint32_t corrupt_count_ = 0;
   std::vector<std::unique_ptr<Actor<Msg>>> actors_;
-  std::vector<std::vector<Envelope<Msg>>> inboxes_;
-  std::vector<Envelope<Msg>> traffic_;
+  /// Inbox buffers are reused across rounds (clear keeps capacity); the
+  /// entries point into prev_'s records.
+  std::vector<std::vector<Delivery<Msg>>> inboxes_;
+  TrafficLog<Msg> cur_;   ///< records emitted this round
+  TrafficLog<Msg> prev_;  ///< last round's records, referenced by inboxes
+  /// Delivery indices erased this round (sorted + deduped after step 3).
+  std::vector<std::size_t> erased_;
+  std::vector<RoundStats> round_stats_;
 };
 
 }  // namespace ambb

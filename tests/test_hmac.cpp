@@ -63,5 +63,39 @@ TEST(Hmac, MessageSensitivity) {
   EXPECT_NE(hmac_sha256(k, m1), hmac_sha256(k, m2));
 }
 
+TEST(Hmac, PrecomputedKeyMatchesReference) {
+  // HmacKey's midstate fast path must be indistinguishable from the
+  // reference implementation for every (key, message) pair.
+  for (int i = 0; i < 32; ++i) {
+    const Digest key = Sha256::hash(std::string("key") + std::to_string(i));
+    const HmacKey fast(key);
+    for (int j = 0; j < 8; ++j) {
+      const Digest msg =
+          Sha256::hash(std::string("msg") + std::to_string(j));
+      EXPECT_EQ(fast.mac(msg), hmac_sha256(key, msg))
+          << "key " << i << " msg " << j;
+    }
+  }
+}
+
+TEST(Hmac, MidstateResumeMatchesOneShot) {
+  // Resuming SHA-256 from a block-boundary midstate is equivalent to
+  // hashing the concatenation in one pass.
+  std::vector<std::uint8_t> prefix(64, 0x42);
+  std::vector<std::uint8_t> tail(37, 0x17);
+
+  Sha256 a;
+  a.update(std::span<const std::uint8_t>(prefix));
+  const Sha256Midstate mid = a.midstate();
+
+  Sha256 resumed(mid);
+  resumed.update(std::span<const std::uint8_t>(tail));
+
+  std::vector<std::uint8_t> all = prefix;
+  all.insert(all.end(), tail.begin(), tail.end());
+  EXPECT_EQ(resumed.finalize(),
+            Sha256::hash(std::span<const std::uint8_t>(all)));
+}
+
 }  // namespace
 }  // namespace ambb

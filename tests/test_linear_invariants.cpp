@@ -27,7 +27,7 @@ TEST_P(LinearInvariants, NoCorruptProofOnHonestNodes) {
   cfg.slots = 10;
   cfg.seed = 11;
   cfg.adversary = GetParam();
-  cfg.inspect = [&](Simulation<Msg>& sim) {
+  cfg.inspect = [&](Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
       auto* node = dynamic_cast<LinearNode*>(sim.actor(u));
@@ -51,7 +51,7 @@ TEST_P(LinearInvariants, HonestNodesNeverAccuseHonestNodes) {
   cfg.slots = 10;
   cfg.seed = 29;
   cfg.adversary = GetParam();
-  cfg.inspect = [&](Simulation<Msg>& sim) {
+  cfg.inspect = [&](Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
       auto* node = dynamic_cast<LinearNode*>(sim.actor(u));
@@ -75,7 +75,7 @@ TEST_P(LinearInvariants, Query2BoundedByFreshAccusations) {
   cfg.slots = 12;
   cfg.seed = 31;
   cfg.adversary = GetParam();
-  cfg.inspect = [&](Simulation<Msg>& sim) {
+  cfg.inspect = [&](Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
       auto* node = dynamic_cast<LinearNode*>(sim.actor(u));
@@ -112,7 +112,7 @@ TEST(LinearInvariants, AccusationKnowledgeMonotone) {
   cfg.seed = 17;
   cfg.adversary = "mixed";
   std::vector<std::size_t> last_counts(cfg.n, 0);
-  cfg.on_round_end = [&](Round, Simulation<Msg>& sim) {
+  cfg.on_round_end = [&](Round, Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
       auto* node = dynamic_cast<LinearNode*>(sim.actor(u));
@@ -140,7 +140,7 @@ TEST(LinearInvariants, SilentLeadersGetConvictedExactlyOnce) {
   cfg.slots = 12;
   cfg.seed = 3;
   cfg.adversary = "silent";
-  cfg.inspect = [&](Simulation<Msg>& sim) {
+  cfg.inspect = [&](Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
       auto* node = dynamic_cast<LinearNode*>(sim.actor(u));

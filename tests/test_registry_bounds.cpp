@@ -1,0 +1,60 @@
+// The linear-family registry entries advertise f <= (1/2 - eps) n with
+// eps = 0.1, i.e. f_max = floor(2n/5). The bound must be computed in exact
+// integer arithmetic: 0.4 has no finite binary representation, so
+// static_cast<uint32_t>(0.4 * n) silently depends on how the two rounding
+// steps (representing 0.4, then multiplying) happen to fall.
+#include "runner/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace ambb {
+namespace {
+
+// Exact mathematical bound: the largest integer f with f <= (2/5) n,
+// decided purely in integers (f <= 2n/5  <=>  5f <= 2n).
+std::uint32_t exact_two_fifths(std::uint32_t n) {
+  std::uint32_t f = 0;
+  while (5ull * (f + 1) <= 2ull * n) ++f;
+  return f;
+}
+
+TEST(RegistryBounds, LinearMaxFIsExactIntegerTwoFifths) {
+  const auto& info = protocol("linear");
+  for (std::uint32_t n = 1; n <= 10000; ++n) {
+    ASSERT_EQ(info.max_f(n), (2 * n) / 5) << "n=" << n;
+    ASSERT_EQ(info.max_f(n), exact_two_fifths(n)) << "n=" << n;
+  }
+}
+
+TEST(RegistryBounds, AllLinearFamilyEntriesAgree) {
+  for (const char* name :
+       {"linear", "mr-baseline", "linear-nomem", "linear-noquery"}) {
+    const auto& info = protocol(name);
+    for (std::uint32_t n = 4; n <= 10000; n += 7) {
+      ASSERT_EQ(info.max_f(n), exact_two_fifths(n))
+          << "protocol " << name << " n=" << n;
+    }
+  }
+}
+
+TEST(RegistryBounds, MaxFSatisfiesTheDriverPrecondition) {
+  // run_linear rejects f > (1/2 - eps) n with eps = 0.1; the advertised
+  // bound must never trip it (this is what an off-by-one in the float
+  // cast would break).
+  const auto& info = protocol("linear");
+  for (std::uint32_t n = 4; n <= 10000; n += 131) {
+    const double limit = (0.5 - 0.1) * n;
+    ASSERT_LE(static_cast<double>(info.max_f(n)), limit) << "n=" << n;
+    // And it is tight: one more would exceed the mathematical bound.
+    ASSERT_GT(5ull * (info.max_f(n) + 1), 2ull * n) << "n=" << n;
+  }
+}
+
+TEST(RegistryBounds, UnknownProtocolThrows) {
+  EXPECT_THROW(protocol("no-such-protocol"), CheckError);
+}
+
+}  // namespace
+}  // namespace ambb

@@ -25,12 +25,12 @@ Accounting<ToyMsg> toy_accounting() {
 /// Scriptable actor: runs a lambda each round, records its inbox.
 class ScriptActor final : public Actor<ToyMsg> {
  public:
-  using Fn = std::function<void(Round, std::span<const Envelope<ToyMsg>>,
-                                std::span<const Envelope<ToyMsg>>,
+  using Fn = std::function<void(Round, std::span<const Delivery<ToyMsg>>,
+                                const TrafficView<ToyMsg>&,
                                 RoundApi<ToyMsg>&)>;
   explicit ScriptActor(Fn fn) : fn_(std::move(fn)) {}
-  void on_round(Round r, std::span<const Envelope<ToyMsg>> inbox,
-                std::span<const Envelope<ToyMsg>> rushed,
+  void on_round(Round r, std::span<const Delivery<ToyMsg>> inbox,
+                const TrafficView<ToyMsg>& rushed,
                 RoundApi<ToyMsg>& api) override {
     if (fn_) fn_(r, inbox, rushed, api);
   }
@@ -55,7 +55,7 @@ TEST(Simulation, MessagesArriveNextRound) {
                        [&](Round r, auto inbox, auto, auto&) {
                          if (!inbox.empty() && got_at_round < 0) {
                            got_at_round = static_cast<int>(r);
-                           EXPECT_EQ(inbox[0].msg.tag, 42);
+                           EXPECT_EQ(inbox[0].msg().tag, 42);
                            EXPECT_EQ(inbox[0].from, 0u);
                          }
                        }));
@@ -120,7 +120,8 @@ TEST(Simulation, ByzantineActorsSeeRushedHonestTraffic) {
     std::vector<NodeId> initial_corruptions() override { return {1}; }
     std::unique_ptr<Actor<ToyMsg>> actor_for(NodeId) override {
       return std::make_unique<ScriptActor>(
-          [saw = saw_](Round, auto, auto rushed, auto&) {
+          [saw = saw_](Round, auto, const TrafficView<ToyMsg>& rushed,
+                       auto&) {
             if (!rushed.empty()) *saw = true;
           });
     }
@@ -151,7 +152,7 @@ TEST(Simulation, AfterTheFactRemovalErasesAndRecharges) {
     std::unique_ptr<Actor<ToyMsg>> actor_for(NodeId) override {
       return std::make_unique<ScriptActor>(nullptr);  // silent
     }
-    void observe_round(Round r, std::span<const Envelope<ToyMsg>> traffic,
+    void observe_round(Round r, const TrafficView<ToyMsg>& traffic,
                        CorruptionCtl<ToyMsg>& ctl) override {
       if (r != 0) return;
       for (std::size_t i = 0; i < traffic.size(); ++i) {
@@ -189,7 +190,7 @@ TEST(Simulation, ErasingHonestTrafficIsRejected) {
     std::unique_ptr<Actor<ToyMsg>> actor_for(NodeId) override {
       return std::make_unique<ScriptActor>(nullptr);
     }
-    void observe_round(Round, std::span<const Envelope<ToyMsg>> traffic,
+    void observe_round(Round, const TrafficView<ToyMsg>& traffic,
                        CorruptionCtl<ToyMsg>& ctl) override {
       if (!traffic.empty()) {
         // No corruption first: after-the-fact removal must be refused.
@@ -217,7 +218,7 @@ TEST(Simulation, CorruptionBudgetEnforced) {
     std::unique_ptr<Actor<ToyMsg>> actor_for(NodeId) override {
       return std::make_unique<ScriptActor>(nullptr);
     }
-    void observe_round(Round, std::span<const Envelope<ToyMsg>>,
+    void observe_round(Round, const TrafficView<ToyMsg>&,
                        CorruptionCtl<ToyMsg>& ctl) override {
       EXPECT_EQ(ctl.corruption_budget_left(), 0u);
       EXPECT_THROW(ctl.corrupt(1), CheckError);

@@ -22,7 +22,7 @@ TEST_P(TrustCastProperties, IntegrityHonestEdgesSurvive) {
   cfg.slots = 12;
   cfg.seed = 5;
   cfg.adversary = GetParam();
-  cfg.inspect = [&](Simulation<Msg>& sim) {
+  cfg.inspect = [&](Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
       auto* node = dynamic_cast<QuadNode*>(sim.actor(u));
@@ -56,7 +56,7 @@ TEST_P(TrustCastProperties, TransferabilityAcrossRounds) {
   // Snapshot every honest node's graph each round; check
   // G_u(t+1) subgraph-of G_v(t) for all honest pairs.
   std::map<NodeId, TrustGraph> prev;
-  cfg.on_round_end = [&](Round r, Simulation<Msg>& sim) {
+  cfg.on_round_end = [&](Round r, Sim& sim) {
     std::map<NodeId, TrustGraph> cur;
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
@@ -87,7 +87,7 @@ TEST_P(TrustCastProperties, TerminationValueOrRemoval) {
   cfg.seed = 23;
   cfg.adversary = GetParam();
   const std::uint64_t rps = Schedule{cfg.n, cfg.f}.rounds_per_slot();
-  cfg.on_round_end = [&](Round r, Simulation<Msg>& sim) {
+  cfg.on_round_end = [&](Round r, Sim& sim) {
     // At the end of TrustCast round n of each slot.
     if (r % rps != cfg.n) return;
     for (NodeId u = 0; u < cfg.n; ++u) {
@@ -117,7 +117,7 @@ TEST(TrustCastEngine, HonestSenderKeepsCompleteGraphWithoutFaults) {
   cfg.slots = 4;
   cfg.seed = 1;
   cfg.adversary = "none";
-  cfg.inspect = [&](Simulation<Msg>& sim) {
+  cfg.inspect = [&](Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       auto* node = dynamic_cast<QuadNode*>(sim.actor(u));
       ASSERT_NE(node, nullptr);
@@ -136,7 +136,7 @@ TEST(TrustCastEngine, SilentSenderRemovedEverywhere) {
   cfg.slots = 1;  // slot 1 sender = node 0 = corrupt silent
   cfg.seed = 1;
   cfg.adversary = "silent";
-  cfg.inspect = [&](Simulation<Msg>& sim) {
+  cfg.inspect = [&](Sim& sim) {
     for (NodeId u = 0; u < cfg.n; ++u) {
       if (sim.is_corrupt(u)) continue;
       auto* node = dynamic_cast<QuadNode*>(sim.actor(u));
