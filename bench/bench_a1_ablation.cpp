@@ -11,7 +11,8 @@
 namespace ambb::bench {
 namespace {
 
-RunResult run_variant(linear::Options opts, const char* adv, Slot slots) {
+linear::LinearConfig variant_config(linear::Options opts, const char* adv,
+                                    Slot slots) {
   linear::LinearConfig cfg;
   cfg.n = 24;
   cfg.f = 9;
@@ -19,7 +20,11 @@ RunResult run_variant(linear::Options opts, const char* adv, Slot slots) {
   cfg.seed = 21;
   cfg.adversary = adv;
   cfg.opts = opts;
-  return linear::run_linear(cfg);
+  return cfg;
+}
+
+RunResult run_variant(linear::Options opts, const char* adv, Slot slots) {
+  return linear::run_linear(variant_config(opts, adv, slots));
 }
 
 void run_table() {
@@ -39,20 +44,30 @@ void run_table() {
       {"always-forward (MR-style)", linear::Options::mr_baseline()},
   };
 
-  TextTable t({"variant", "adversary", "amortized(L=24)", "amortized(L=96)",
-               "tail(48..96)", "liveness"});
+  // Liveness is the quantity under test (the no-query variants are
+  // expected to stall), so termination is reported in the table instead
+  // of failing the bench; consistency/validity still count.
+  std::vector<Job> jobs;
   for (const auto& v : variants) {
     for (const char* adv : {"silent", "selective", "mixed"}) {
-      // Liveness is the quantity under test (the no-query variants are
-      // expected to stall), so termination is reported in the table
-      // instead of failing the bench; consistency/validity still count.
       const std::string label = std::string(v.name) + "/" + adv;
-      RunResult r24 = timed_checked(
-          label + "/L24", [&] { return run_variant(v.opts, adv, 24); },
-          /*allow_stall=*/true);
-      RunResult r96 = timed_checked(
-          label + "/L96", [&] { return run_variant(v.opts, adv, 96); },
-          /*allow_stall=*/true);
+      for (Slot slots : {Slot{24}, Slot{96}}) {
+        const linear::LinearConfig cfg = variant_config(v.opts, adv, slots);
+        jobs.push_back(Job{label + "/L" + std::to_string(slots),
+                           [cfg] { return linear::run_linear(cfg); },
+                           /*allow_stall=*/true});
+      }
+    }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs);
+
+  TextTable t({"variant", "adversary", "amortized(L=24)", "amortized(L=96)",
+               "tail(48..96)", "liveness"});
+  std::size_t i = 0;
+  for (const auto& v : variants) {
+    for (const char* adv : {"silent", "selective", "mixed"}) {
+      const RunResult& r24 = results[i++];
+      const RunResult& r96 = results[i++];
       const bool live = check_termination(r96).empty();
       t.add_row({v.name, adv, TextTable::bits_human(r24.amortized()),
                  TextTable::bits_human(r96.amortized()),

@@ -7,13 +7,20 @@
 // google-benchmark; the communication measurements (the paper's actual
 // metric) are printed as tables after the timing runs.
 //
-// Every measured execution goes through timed_checked()/checked_run(),
-// which (a) verifies the BB properties so printed numbers always come from
-// correct executions, (b) counts violations so the binary exits non-zero
-// if any slipped through, and (c) records the run (cost, round stats,
-// wall clock) into BENCH_<name>.json for a machine-readable perf
-// trajectory. Setting AMBB_BENCH_INJECT_VIOLATION=1 injects a synthetic
-// violation into every check, to prove the non-zero-exit plumbing works.
+// Job execution is delegated to the experiment engine (src/engine/):
+// each bench expands its grid into independent engine jobs, runs them on
+// a fixed worker pool (AMBB_BENCH_JOBS=N; default one worker per
+// hardware thread) and consumes the results in submission order. The
+// engine's determinism contract makes the printed tables and the
+// BENCH_<name>.json measurement fields byte-identical for any job count
+// (wall-clock metadata excepted).
+//
+// Every measured execution is property-checked by the engine, so printed
+// numbers always come from correct executions; violations (and jobs
+// captured by the engine's failure isolation) make the binary exit
+// non-zero. Setting AMBB_BENCH_INJECT_VIOLATION=1 injects a synthetic
+// violation into every recorded run, to prove the non-zero-exit
+// plumbing works.
 #pragma once
 
 #include <benchmark/benchmark.h>
@@ -25,12 +32,17 @@
 #include <utility>
 #include <vector>
 
+#include "engine/engine.hpp"
+#include "engine/report.hpp"
 #include "runner/fit.hpp"
 #include "runner/registry.hpp"
 #include "runner/result.hpp"
 #include "runner/table.hpp"
 
 namespace ambb::bench {
+
+using engine::Job;
+using engine::RunRecord;
 
 inline void print_header(const char* experiment, const char* claim) {
   std::printf("\n================================================================\n");
@@ -39,24 +51,12 @@ inline void print_header(const char* experiment, const char* claim) {
   std::printf("================================================================\n");
 }
 
-/// One checked execution, as written to BENCH_<name>.json.
-struct RunRecord {
-  std::string label;
-  std::uint32_t n = 0;
-  std::uint32_t f = 0;
-  Slot slots = 0;
-  Round rounds = 0;
-  std::uint64_t honest_bits = 0;
-  std::uint64_t adversary_bits = 0;
-  double amortized = 0.0;
-  double wall_ms = 0.0;
-  RoundStatsSummary stats;
-  std::size_t violations = 0;
-};
-
 struct BenchState {
   std::size_t violations = 0;
   std::vector<RunRecord> runs;
+  unsigned threads = 1;  ///< worker-pool size of the last run_jobs call
+  std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
 };
 
 inline BenchState& state() {
@@ -64,86 +64,81 @@ inline BenchState& state() {
   return s;
 }
 
-/// Check an already-executed run, record it, and bump the violation count.
-/// `allow_stall` skips the termination check (registry-known liveness
-/// failures under specific adversaries).
-inline RunResult checked(const std::string& label, RunResult r,
-                         double wall_ms, bool allow_stall = false) {
-  auto errs = check_consistency(r);
-  auto v = check_validity(r);
-  errs.insert(errs.end(), v.begin(), v.end());
-  if (!allow_stall) {
-    auto t = check_termination(r);
-    errs.insert(errs.end(), t.begin(), t.end());
+/// Worker-pool size for this bench process: AMBB_BENCH_JOBS if set (1 =
+/// serial), otherwise 0 = one worker per hardware thread.
+inline unsigned bench_jobs() {
+  if (const char* e = std::getenv("AMBB_BENCH_JOBS")) {
+    const long v = std::strtol(e, nullptr, 10);
+    if (v > 0) return static_cast<unsigned>(v);
   }
-  if (std::getenv("AMBB_BENCH_INJECT_VIOLATION") != nullptr) {
-    errs.push_back("synthetic violation (AMBB_BENCH_INJECT_VIOLATION)");
-  }
-  if (!errs.empty()) {
-    std::printf("!! %s produced %zu property violations (first: %s)\n",
-                label.c_str(), errs.size(), errs[0].c_str());
-    state().violations += errs.size();
-  }
-
-  RunRecord rec;
-  rec.label = label;
-  rec.n = r.n;
-  rec.f = r.f;
-  rec.slots = r.slots;
-  rec.rounds = r.rounds;
-  rec.honest_bits = r.honest_bits;
-  rec.adversary_bits = r.adversary_bits;
-  rec.amortized = r.amortized();
-  rec.wall_ms = wall_ms;
-  rec.stats = r.stats_summary();
-  rec.violations = errs.size();
-  state().runs.push_back(std::move(rec));
-  return r;
+  return 0;
 }
 
-/// Time a driver call, then check + record it. The label should identify
-/// the configuration (protocol/adversary/n).
+/// Record one engine outcome into the bench state (call in submission
+/// order — recording is what pins the printed/serialized order).
+inline const RunResult& record_outcome(const engine::JobOutcome& out) {
+  std::size_t extra = 0;
+  if (std::getenv("AMBB_BENCH_INJECT_VIOLATION") != nullptr) {
+    extra = 1;  // synthetic violation: prove the non-zero-exit plumbing
+  }
+  if (!out.completed) {
+    std::printf("!! %s did not complete: %s\n", out.label.c_str(),
+                out.error.c_str());
+  } else if (!out.violations.empty()) {
+    std::printf("!! %s produced %zu property violations (first: %s)\n",
+                out.label.c_str(), out.violations.size(),
+                out.violations[0].c_str());
+  }
+  RunRecord rec = engine::to_record(out);
+  rec.violations += extra;
+  state().violations += rec.violations;
+  state().runs.push_back(std::move(rec));
+  return out.result;
+}
+
+/// Execute a batch of jobs through the engine and return their results
+/// in submission order. Failed jobs yield a default-constructed
+/// RunResult and are reported as failure rows (non-zero exit).
+inline std::vector<RunResult> run_jobs(const std::vector<Job>& jobs) {
+  engine::Engine eng(bench_jobs());
+  state().threads = eng.jobs();
+  std::vector<engine::JobOutcome> outcomes = eng.run(jobs);
+  std::vector<RunResult> results;
+  results.reserve(outcomes.size());
+  for (const auto& out : outcomes) results.push_back(record_outcome(out));
+  return results;
+}
+
+/// One-off checked execution (single-job batch through the engine).
 template <class Fn>
 RunResult timed_checked(const std::string& label, Fn&& run,
                         bool allow_stall = false) {
-  const auto t0 = std::chrono::steady_clock::now();
-  RunResult r = std::forward<Fn>(run)();
-  const auto t1 = std::chrono::steady_clock::now();
-  const double ms =
-      std::chrono::duration<double, std::milli>(t1 - t0).count();
-  return checked(label, std::move(r), ms, allow_stall);
+  return run_jobs({Job{label, std::forward<Fn>(run), allow_stall}})[0];
+}
+
+/// Engine job for a registry protocol at the given params; liveness
+/// failures the registry knows about skip the termination check.
+inline Job registry_job(const std::string& proto, const CommonParams& p) {
+  const ProtocolInfo& info = protocol(proto);
+  bool stall_ok = false;
+  for (const auto& a : info.known_liveness_failures) {
+    if (a == p.adversary) stall_ok = true;
+  }
+  return Job{proto + "/" + p.adversary + "/n" + std::to_string(p.n),
+             [&info, p] { return info.run(p); }, stall_ok};
 }
 
 /// Run a protocol from the registry and sanity-check the run (so the
 /// numbers we print always come from correct executions).
 inline RunResult checked_run(const std::string& proto,
                              const CommonParams& p) {
-  const ProtocolInfo& info = protocol(proto);
-  bool stall_ok = false;
-  for (const auto& a : info.known_liveness_failures) {
-    if (a == p.adversary) stall_ok = true;
-  }
-  return timed_checked(proto + "/" + p.adversary + "/n" +
-                           std::to_string(p.n),
-                       [&] { return info.run(p); }, stall_ok);
+  return run_jobs({registry_job(proto, p)})[0];
 }
 
-inline void json_escape_into(std::string& out, const std::string& s) {
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      out += ' ';
-    } else {
-      out += c;
-    }
-  }
-}
-
-/// Print the per-run round-stats summary table, write BENCH_<name>.json,
-/// and return the process exit code (non-zero iff any checked run violated
-/// a property). Every bench main() ends with `return finish_bench(...)`.
+/// Print the per-run round-stats summary table, write BENCH_<name>.json
+/// (schema v2 — see engine/report.hpp), and return the process exit code
+/// (non-zero iff any checked run violated a property or failed to
+/// complete). Every bench main() ends with `return finish_bench(...)`.
 inline int finish_bench(const char* bench_name) {
   BenchState& st = state();
 
@@ -164,46 +159,15 @@ inline int finish_bench(const char* bench_name) {
     std::printf("%s", t.render().c_str());
   }
 
-  std::string json;
-  json += "{\n  \"bench\": \"";
-  json_escape_into(json, bench_name);
-  json += "\",\n  \"violations\": " + std::to_string(st.violations);
-  json += ",\n  \"runs\": [";
-  for (std::size_t i = 0; i < st.runs.size(); ++i) {
-    const RunRecord& r = st.runs[i];
-    json += i == 0 ? "\n" : ",\n";
-    json += "    {\"label\": \"";
-    json_escape_into(json, r.label);
-    json += "\", \"n\": " + std::to_string(r.n);
-    json += ", \"f\": " + std::to_string(r.f);
-    json += ", \"slots\": " + std::to_string(r.slots);
-    json += ", \"rounds\": " + std::to_string(r.rounds);
-    json += ", \"honest_bits\": " + std::to_string(r.honest_bits);
-    json += ", \"adversary_bits\": " + std::to_string(r.adversary_bits);
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%.3f", r.amortized);
-    json += ", \"amortized_bits_per_slot\": " + std::string(buf);
-    std::snprintf(buf, sizeof buf, "%.3f", r.wall_ms);
-    json += ", \"wall_ms\": " + std::string(buf);
-    json += ", \"records\": " + std::to_string(r.stats.records);
-    json += ", \"deliveries\": " + std::to_string(r.stats.deliveries);
-    json += ", \"erasures\": " + std::to_string(r.stats.erasures);
-    json += ", \"corruptions\": " + std::to_string(r.stats.corruptions);
-    json += ", \"ns_honest\": " + std::to_string(r.stats.ns_honest);
-    json += ", \"ns_byzantine\": " + std::to_string(r.stats.ns_byzantine);
-    json += ", \"ns_adversary\": " + std::to_string(r.stats.ns_adversary);
-    json += ", \"ns_accounting\": " + std::to_string(r.stats.ns_accounting);
-    json += ", \"ns_delivery\": " + std::to_string(r.stats.ns_delivery);
-    json += ", \"violations\": " + std::to_string(r.violations);
-    json += "}";
-  }
-  json += "\n  ]\n}\n";
-
+  const double wall_ms_total =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - st.start)
+          .count();
   const std::string path = std::string("BENCH_") + bench_name + ".json";
-  if (std::FILE* fp = std::fopen(path.c_str(), "w")) {
-    std::fwrite(json.data(), 1, json.size(), fp);
-    std::fclose(fp);
-    std::printf("\nwrote %s (%zu runs)\n", path.c_str(), st.runs.size());
+  if (engine::write_bench_json(path, bench_name, st.runs, st.violations,
+                               st.threads, wall_ms_total)) {
+    std::printf("\nwrote %s (%zu runs, %u threads)\n", path.c_str(),
+                st.runs.size(), st.threads);
   } else {
     std::printf("\n!! could not write %s\n", path.c_str());
   }

@@ -23,10 +23,10 @@ void run_series() {
       "total cost O(kn L + kn^3): amortized cost decreases in L toward the "
       "linear term");
 
-  TextTable t({"adversary", "L=4", "L=16", "L=48", "L=96", "L=192",
-               "tail(96..192)", "kappa*n ref"});
-  for (const char* adv :
-       {"none", "silent", "equivocate", "selective", "flood", "mixed"}) {
+  const std::vector<const char*> advs = {"none",      "silent", "equivocate",
+                                         "selective", "flood",  "mixed"};
+  std::vector<Job> jobs;
+  for (const char* adv : advs) {
     linear::LinearConfig cfg;
     cfg.n = n;
     cfg.f = f;
@@ -34,8 +34,16 @@ void run_series() {
     cfg.seed = 7;
     cfg.eps = 0.1;
     cfg.adversary = adv;
-    RunResult r = timed_checked(std::string("linear/") + adv + "/L192",
-                                [&] { return linear::run_linear(cfg); });
+    jobs.push_back(Job{std::string("linear/") + adv + "/L192",
+                       [cfg] { return linear::run_linear(cfg); }});
+  }
+  const std::vector<RunResult> results = run_jobs(jobs);
+
+  TextTable t({"adversary", "L=4", "L=16", "L=48", "L=96", "L=192",
+               "tail(96..192)", "kappa*n ref"});
+  for (std::size_t i = 0; i < advs.size(); ++i) {
+    const char* adv = advs[i];
+    const RunResult& r = results[i];
     t.add_row({adv, TextTable::bits_human(r.amortized(4)),
                TextTable::bits_human(r.amortized(16)),
                TextTable::bits_human(r.amortized(48)),

@@ -29,6 +29,12 @@ void run_scaling() {
       "slopes ~1 (Alg.4), ~2 (Alg.5.2, MR baseline), ~3 (Dolev-Strong "
       "worst case)");
 
+  // The whole grid is expanded up front and executed as one engine
+  // batch; each series then slices its results out in submission order
+  // (the engine pins that order, so the numbers below are independent
+  // of AMBB_BENCH_JOBS).
+  std::vector<Job> jobs;
+
   Series alg4{"Alg.4 (mixed adv, eps=0.2)", 0.7, 1.6, {}, {}};
   for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
     linear::LinearConfig cfg;
@@ -38,10 +44,9 @@ void run_scaling() {
     cfg.seed = 7;
     cfg.eps = 0.2;  // constant expander degree across this sweep
     cfg.adversary = "mixed";
-    auto r = timed_checked("alg4/mixed/n" + std::to_string(n),
-                           [&] { return linear::run_linear(cfg); });
+    jobs.push_back(Job{"alg4/mixed/n" + std::to_string(n),
+                       [cfg] { return linear::run_linear(cfg); }});
     alg4.ns.push_back(n);
-    alg4.costs.push_back(r.amortized_tail(2 * n));
   }
 
   Series mr{"MR-style baseline (mixed adv)", 1.6, 2.5, {}, {}};
@@ -54,10 +59,9 @@ void run_scaling() {
     cfg.eps = 0.2;
     cfg.adversary = "mixed";
     cfg.opts = linear::Options::mr_baseline();
-    auto r = timed_checked("mr-baseline/mixed/n" + std::to_string(n),
-                           [&] { return linear::run_linear(cfg); });
+    jobs.push_back(Job{"mr-baseline/mixed/n" + std::to_string(n),
+                       [cfg] { return linear::run_linear(cfg); }});
     mr.ns.push_back(n);
-    mr.costs.push_back(r.amortized_tail(4));
   }
 
   Series s_quad{"Alg.5.2 (silent adv, f=n/2)", 1.5, 2.6, {}, {}};
@@ -68,10 +72,9 @@ void run_scaling() {
     cfg.slots = 3 * n;
     cfg.seed = 7;
     cfg.adversary = "silent";
-    auto r = timed_checked("alg5.2/silent/n" + std::to_string(n),
-                           [&] { return quad::run_quadratic(cfg); });
+    jobs.push_back(Job{"alg5.2/silent/n" + std::to_string(n),
+                       [cfg] { return quad::run_quadratic(cfg); }});
     s_quad.ns.push_back(n);
-    s_quad.costs.push_back(r.amortized_tail(2 * n));
   }
 
   Series dsw{"Dolev-Strong plain (stagger, f=n/2)", 2.3, 3.4, {}, {}};
@@ -82,10 +85,9 @@ void run_scaling() {
     cfg.slots = 4;
     cfg.seed = 7;
     cfg.adversary = "stagger";
-    auto r = timed_checked("dolev-strong/stagger/n" + std::to_string(n),
-                           [&] { return ds::run_dolev_strong(cfg); });
+    jobs.push_back(Job{"dolev-strong/stagger/n" + std::to_string(n),
+                       [cfg] { return ds::run_dolev_strong(cfg); }});
     dsw.ns.push_back(n);
-    dsw.costs.push_back(r.amortized());
   }
 
   Series s_pk{"phase-king (confuse, f<n/3)", 1.6, 3.2, {}, {}};
@@ -96,11 +98,24 @@ void run_scaling() {
     cfg.slots = 4;
     cfg.seed = 7;
     cfg.adversary = "confuse";
-    auto r = timed_checked("phase-king/confuse/n" + std::to_string(n),
-                           [&] { return pk::run_phase_king(cfg); });
+    jobs.push_back(Job{"phase-king/confuse/n" + std::to_string(n),
+                       [cfg] { return pk::run_phase_king(cfg); }});
     s_pk.ns.push_back(n);
-    s_pk.costs.push_back(r.amortized());
   }
+
+  const std::vector<RunResult> results = run_jobs(jobs);
+  std::size_t i = 0;
+  for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
+    alg4.costs.push_back(results[i++].amortized_tail(2 * n));
+  }
+  for (int k = 0; k < 4; ++k) {
+    mr.costs.push_back(results[i++].amortized_tail(4));
+  }
+  for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
+    s_quad.costs.push_back(results[i++].amortized_tail(2 * n));
+  }
+  for (int k = 0; k < 4; ++k) dsw.costs.push_back(results[i++].amortized());
+  for (int k = 0; k < 4; ++k) s_pk.costs.push_back(results[i++].amortized());
 
   TextTable t({"protocol", "n sweep", "measured slope", "paper-expected"});
   for (const Series* s : {&alg4, &mr, &s_quad, &dsw, &s_pk}) {

@@ -19,18 +19,27 @@ void run_breakdown() {
       "Query-1 linear/epoch; Respond-1 one reply; query2/Respond-2 and "
       "corrupt-proofs bounded one-time; common path linear");
 
-  TextTable t({"adversary", "amortized", "tail(last half)", "top kind #1",
-               "top kind #2", "corrupt-proof bits", "query2 bits"});
-  for (const char* adv : {"none", "silent", "equivocate", "selective",
-                          "flood", "mixed", "adaptive-erase"}) {
+  const std::vector<const char*> advs = {"none",  "silent", "equivocate",
+                                         "selective", "flood", "mixed",
+                                         "adaptive-erase"};
+  std::vector<Job> jobs;
+  for (const char* adv : advs) {
     linear::LinearConfig cfg;
     cfg.n = n;
     cfg.f = f;
     cfg.slots = slots;
     cfg.seed = 11;
     cfg.adversary = adv;
-    RunResult r = timed_checked(std::string("linear/") + adv + "/L72",
-                                [&] { return linear::run_linear(cfg); });
+    jobs.push_back(Job{std::string("linear/") + adv + "/L72",
+                       [cfg] { return linear::run_linear(cfg); }});
+  }
+  const std::vector<RunResult> results = run_jobs(jobs);
+
+  TextTable t({"adversary", "amortized", "tail(last half)", "top kind #1",
+               "top kind #2", "corrupt-proof bits", "query2 bits"});
+  for (std::size_t ri = 0; ri < advs.size(); ++ri) {
+    const char* adv = advs[ri];
+    const RunResult& r = results[ri];
 
     // Rank message kinds by honest bits.
     std::vector<std::size_t> order(r.kind_names.size());

@@ -10,17 +10,16 @@
 namespace ambb::bench {
 namespace {
 
-RunResult run_quad(std::uint32_t n, std::uint32_t f, Slot slots,
-                   const char* adv) {
+Job quad_job(std::uint32_t n, std::uint32_t f, Slot slots,
+             const char* adv) {
   quad::QuadConfig cfg;
   cfg.n = n;
   cfg.f = f;
   cfg.slots = slots;
   cfg.seed = 13;
   cfg.adversary = adv;
-  return timed_checked(std::string("quadratic/") + adv + "/L" +
-                           std::to_string(slots),
-                       [&] { return quad::run_quadratic(cfg); });
+  return Job{std::string("quadratic/") + adv + "/L" + std::to_string(slots),
+             [cfg] { return quad::run_quadratic(cfg); }};
 }
 
 std::uint64_t kind_bits(const RunResult& r, const char* kind) {
@@ -39,12 +38,22 @@ void run_tables() {
       "accuse/corrupt traffic is one-time (trust graph and DS votes are "
       "shared across slots); prop traffic is the O(kn^2)/slot term");
 
+  const std::vector<const char*> advs = {"none", "silent", "equivocate",
+                                         "conspiracy", "floodaccuse"};
+  std::vector<Job> jobs;
+  for (const char* adv : advs) {
+    for (Slot slots : {Slot{16}, Slot{64}}) {
+      jobs.push_back(quad_job(n, f, slots, adv));
+    }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs);
+
   TextTable t({"adversary", "L", "amortized", "tail", "prop bits",
                "accuse bits", "corrupt bits"});
-  for (const char* adv :
-       {"none", "silent", "equivocate", "conspiracy", "floodaccuse"}) {
+  std::size_t i = 0;
+  for (const char* adv : advs) {
     for (Slot slots : {Slot{16}, Slot{64}}) {
-      RunResult r = run_quad(n, f, slots, adv);
+      const RunResult& r = results[i++];
       t.add_row({adv, std::to_string(slots),
                  TextTable::bits_human(r.amortized()),
                  TextTable::bits_human(r.amortized_tail(slots / 2)),

@@ -78,13 +78,27 @@ void run_table() {
       "Alg.4 amortizes to O(kn); Alg.5.2 to O(kn^2); every baseline is at "
       "least quadratic per slot");
 
-  TextTable t({"protocol", "f", "adversary", "slots", "amortized bits/slot",
-               "steady-state tail", "paper O(.) @n", "tail/paper"});
+  std::vector<Job> jobs;
+  std::vector<CommonParams> grid;
   for (const Row& row : kRows) {
-    for (const std::string adv : {std::string("none"),
+    for (const std::string& adv : {std::string("none"),
                                   std::string(row.worst_adv)}) {
       CommonParams p = params_for(row, n, adv);
-      RunResult r = checked_run(row.proto, p);
+      jobs.push_back(registry_job(row.proto, p));
+      grid.push_back(std::move(p));
+    }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs);
+
+  TextTable t({"protocol", "f", "adversary", "slots", "amortized bits/slot",
+               "steady-state tail", "paper O(.) @n", "tail/paper"});
+  std::size_t i = 0;
+  for (const Row& row : kRows) {
+    for (const std::string& adv : {std::string("none"),
+                                  std::string(row.worst_adv)}) {
+      const CommonParams& p = grid[i];
+      const RunResult& r = results[i];
+      ++i;
       const double tail = r.amortized_tail(p.slots / 2);
       const double pred = row.predicted(n, kappa);
       t.add_row({row.paper_row, std::to_string(p.f), adv,

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus the ThreadSanitizer pass over the experiment engine.
+#
+#   scripts/ci.sh          # full: tier-1 build+tests, then TSan engine suite
+#   scripts/ci.sh tier1    # only the tier-1 build + full test suite
+#   scripts/ci.sh tsan     # only the TSan build + `ctest -L engine`
+#
+# The TSan stage rebuilds into build-tsan/ (see CMakePresets.json) and runs
+# exactly the engine-labelled tests: they exercise the worker pool with
+# real protocol drivers, so a data race anywhere on the job path —
+# engine, sweep expansion, registry, simulator — trips it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+stage="${1:-all}"
+
+tier1() {
+  echo "== tier-1: configure + build =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  echo "== tier-1: ctest =="
+  ctest --preset default -j "$jobs"
+}
+
+tsan() {
+  echo "== tsan: configure + build =="
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$jobs"
+  echo "== tsan: ctest -L engine =="
+  # halt_on_error promotes any race report to a test failure.
+  TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j "$jobs"
+}
+
+case "$stage" in
+  tier1) tier1 ;;
+  tsan) tsan ;;
+  all)
+    tier1
+    tsan
+    ;;
+  *)
+    echo "usage: $0 [tier1|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "ci: OK ($stage)"

@@ -1,0 +1,241 @@
+#include "engine/sweep.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ambb::engine {
+
+namespace {
+
+std::vector<std::uint32_t> fs_for(const SweepSpec& spec,
+                                  const ProtocolInfo& info,
+                                  std::uint32_t n) {
+  if (spec.f_max) return {info.max_f(n)};
+  if (spec.f_frac >= 0.0) {
+    return {static_cast<std::uint32_t>(spec.f_frac * n)};
+  }
+  if (!spec.fs.empty()) return spec.fs;
+  // No fault-load key at all: a third of the nodes, the conventional
+  // "some faults, every family tolerates it" default.
+  return {n / 3};
+}
+
+std::vector<Slot> slots_for(const SweepSpec& spec, std::uint32_t n) {
+  if (spec.slots_per_n != 0) return {spec.slots_per_n * n};
+  if (!spec.slots_list.empty()) return spec.slots_list;
+  return {Slot{8}};
+}
+
+}  // namespace
+
+std::vector<SweepJob> expand(const SweepSpec& spec) {
+  const ProtocolInfo& info = protocol(spec.protocol);  // validates the name
+  AMBB_CHECK_MSG(!spec.ns.empty(), "sweep '" << spec.name << "': empty n list");
+  AMBB_CHECK_MSG(!spec.adversaries.empty(),
+                 "sweep '" << spec.name << "': empty adversary list");
+  AMBB_CHECK_MSG(spec.seed_begin <= spec.seed_end,
+                 "sweep '" << spec.name << "': seed range is backwards");
+  AMBB_CHECK_MSG(spec.repetitions >= 1,
+                 "sweep '" << spec.name << "': reps must be >= 1");
+  for (const auto& adv : spec.adversaries) {
+    AMBB_CHECK_MSG(std::find(info.adversaries.begin(), info.adversaries.end(),
+                             adv) != info.adversaries.end(),
+                   "sweep '" << spec.name << "': protocol '" << spec.protocol
+                             << "' does not accept adversary '" << adv << "'");
+  }
+
+  const std::string prefix = spec.name.empty() ? spec.protocol : spec.name;
+  const bool many_seeds = spec.seed_begin != spec.seed_end;
+
+  std::vector<SweepJob> out;
+  for (std::uint32_t n : spec.ns) {
+    const auto fs = fs_for(spec, info, n);
+    const auto slots = slots_for(spec, n);
+    for (std::uint32_t f : fs) {
+      AMBB_CHECK_MSG(f < n, "sweep '" << spec.name << "': f=" << f
+                                      << " >= n=" << n);
+      for (Slot L : slots) {
+        for (const auto& adv : spec.adversaries) {
+          const bool stall_ok =
+              std::find(info.known_liveness_failures.begin(),
+                        info.known_liveness_failures.end(),
+                        adv) != info.known_liveness_failures.end();
+          for (std::uint64_t seed = spec.seed_begin; seed <= spec.seed_end;
+               ++seed) {
+            for (std::uint32_t rep = 0; rep < spec.repetitions; ++rep) {
+              SweepJob sj;
+              sj.protocol = spec.protocol;
+              sj.allow_stall = stall_ok;
+              sj.params.n = n;
+              sj.params.f = f;
+              sj.params.slots = L;
+              sj.params.seed = seed;
+              sj.params.adversary = adv;
+              sj.params.eps = spec.eps;
+              sj.params.kappa_bits = spec.kappa_bits;
+              sj.params.value_bits = spec.value_bits;
+
+              std::ostringstream label;
+              label << prefix << "/" << adv << "/n" << n;
+              // Keep labels short: only dimensions the spec actually
+              // sweeps (or sets off-default) appear after n.
+              if (fs.size() > 1) label << "/f" << f;
+              if (slots.size() > 1) label << "/L" << L;
+              if (many_seeds) label << "/s" << seed;
+              if (spec.repetitions > 1) label << "/r" << (rep + 1);
+              sj.label = label.str();
+              out.push_back(std::move(sj));
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<SweepJob> expand_all(const std::vector<SweepSpec>& specs) {
+  std::vector<SweepJob> out;
+  for (const auto& s : specs) {
+    auto jobs = expand(s);
+    out.insert(out.end(), std::make_move_iterator(jobs.begin()),
+               std::make_move_iterator(jobs.end()));
+  }
+  return out;
+}
+
+std::vector<SweepJob> filter_jobs(std::vector<SweepJob> jobs,
+                                  const std::string& needle) {
+  if (needle.empty()) return jobs;
+  std::vector<SweepJob> out;
+  for (auto& j : jobs) {
+    if (j.label.find(needle) != std::string::npos) out.push_back(std::move(j));
+  }
+  return out;
+}
+
+Job to_engine_job(const SweepJob& sj) {
+  const ProtocolInfo& info = protocol(sj.protocol);
+  // The closure copies the params and takes the registry entry by
+  // reference (the registry is an immutable magic static); each
+  // invocation builds a fresh Simulation/ledger/RNG inside the driver.
+  CommonParams params = sj.params;
+  return Job{sj.label, [&info, params] { return info.run(params); },
+             sj.allow_stall};
+}
+
+std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs) {
+  std::vector<Job> out;
+  out.reserve(sjs.size());
+  for (const auto& sj : sjs) out.push_back(to_engine_job(sj));
+  return out;
+}
+
+namespace {
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::vector<std::string> toks;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) {
+    if (t[0] == '#') break;  // trailing comment
+    toks.push_back(t);
+  }
+  return toks;
+}
+
+template <class T>
+T parse_num(const std::string& tok, int lineno) {
+  std::istringstream is(tok);
+  T v{};
+  is >> v;
+  AMBB_CHECK_MSG(!is.fail() && is.eof(),
+                 "spec line " << lineno << ": bad number '" << tok << "'");
+  return v;
+}
+
+}  // namespace
+
+std::vector<SweepSpec> parse_spec(const std::string& text) {
+  std::vector<SweepSpec> specs;
+  SweepSpec* cur = nullptr;
+
+  std::istringstream is(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    const auto toks = tokens_of(line);
+    if (toks.empty()) continue;
+    const std::string& key = toks[0];
+    const std::size_t nargs = toks.size() - 1;
+
+    if (key == "sweep") {
+      AMBB_CHECK_MSG(nargs == 1, "spec line " << lineno
+                                              << ": 'sweep' needs one name");
+      specs.emplace_back();
+      cur = &specs.back();
+      cur->name = toks[1];
+      continue;
+    }
+    AMBB_CHECK_MSG(cur != nullptr, "spec line "
+                                       << lineno
+                                       << ": key before any 'sweep' block");
+    AMBB_CHECK_MSG(nargs >= 1, "spec line " << lineno << ": '" << key
+                                            << "' needs a value");
+
+    if (key == "protocol") {
+      cur->protocol = toks[1];
+    } else if (key == "n") {
+      cur->ns.clear();
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        cur->ns.push_back(parse_num<std::uint32_t>(toks[i], lineno));
+      }
+    } else if (key == "f") {
+      if (toks[1] == "max") {
+        cur->f_max = true;
+      } else {
+        cur->fs.clear();
+        for (std::size_t i = 1; i < toks.size(); ++i) {
+          cur->fs.push_back(parse_num<std::uint32_t>(toks[i], lineno));
+        }
+      }
+    } else if (key == "f-frac") {
+      cur->f_frac = parse_num<double>(toks[1], lineno);
+    } else if (key == "slots") {
+      cur->slots_list.clear();
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        cur->slots_list.push_back(parse_num<Slot>(toks[i], lineno));
+      }
+    } else if (key == "slots-per-n") {
+      cur->slots_per_n = parse_num<std::uint32_t>(toks[1], lineno);
+    } else if (key == "adversary") {
+      cur->adversaries.assign(toks.begin() + 1, toks.end());
+    } else if (key == "seeds") {
+      AMBB_CHECK_MSG(nargs == 2,
+                     "spec line " << lineno << ": 'seeds' needs begin end");
+      cur->seed_begin = parse_num<std::uint64_t>(toks[1], lineno);
+      cur->seed_end = parse_num<std::uint64_t>(toks[2], lineno);
+    } else if (key == "reps") {
+      cur->repetitions = parse_num<std::uint32_t>(toks[1], lineno);
+    } else if (key == "eps") {
+      cur->eps = parse_num<double>(toks[1], lineno);
+    } else if (key == "kappa") {
+      cur->kappa_bits = parse_num<std::uint32_t>(toks[1], lineno);
+    } else if (key == "value-bits") {
+      cur->value_bits = parse_num<std::uint32_t>(toks[1], lineno);
+    } else {
+      AMBB_CHECK_MSG(false,
+                     "spec line " << lineno << ": unknown key '" << key << "'");
+    }
+  }
+  for (const auto& s : specs) {
+    AMBB_CHECK_MSG(!s.protocol.empty(),
+                   "sweep '" << s.name << "' has no 'protocol' key");
+  }
+  return specs;
+}
+
+}  // namespace ambb::engine

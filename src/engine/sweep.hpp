@@ -1,0 +1,95 @@
+// Declarative sweep specification for the experiment engine.
+//
+// A SweepSpec names a protocol from the runner registry plus lists of
+// n / f / L / adversary / seed values; expand() turns it into the full
+// cross product of independent engine jobs in a documented, stable order
+// (n, then f, then slots, then adversary, then seed, then repetition).
+// The expansion order IS the aggregation order: together with the
+// engine's submission-order reporting it pins the output byte-for-byte
+// independently of --jobs.
+//
+// Spec files (ambb_sweep --spec) are line-oriented:
+//
+//   # comment
+//   sweep alg4                 # starts a block; the name prefixes labels
+//   protocol linear            # registry name (required)
+//   n 24 32 48 64              # list of n values (required)
+//   f-frac 0.3                 # f = floor(0.3 * n), or:
+//   f 4 6 8                    #   explicit f list, or:
+//   f max                      #   registry max_f(n)
+//   slots-per-n 3              # L = 3n, or: slots 8 16
+//   adversary mixed none       # list; default "none"
+//   seeds 7 9                  # inclusive seed range; default 1 1
+//   reps 2                     # repetitions per config; default 1
+//   eps 0.2                    # linear-family expander parameter
+//   kappa 256                  # security parameter bits
+//   value-bits 256             # input value width
+//
+// Blank lines between blocks are optional; later keys override earlier
+// ones within a block. Malformed input throws CheckError with the
+// offending line number.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "runner/registry.hpp"
+
+namespace ambb::engine {
+
+struct SweepSpec {
+  std::string name;      ///< label prefix; defaults to the protocol name
+  std::string protocol;  ///< runner-registry protocol name
+
+  std::vector<std::uint32_t> ns = {16};
+  /// Fault-load selection, exactly one of:
+  std::vector<std::uint32_t> fs;  ///< explicit values (cross product with n)
+  double f_frac = -1.0;           ///< f = floor(f_frac * n) when >= 0
+  bool f_max = false;             ///< f = registry max_f(n)
+
+  std::vector<Slot> slots_list;   ///< explicit slot counts
+  std::uint32_t slots_per_n = 0;  ///< L = slots_per_n * n when nonzero
+
+  std::vector<std::string> adversaries = {"none"};
+  std::uint64_t seed_begin = 1;
+  std::uint64_t seed_end = 1;  ///< inclusive
+  std::uint32_t repetitions = 1;
+
+  double eps = 0.1;
+  std::uint32_t kappa_bits = kDefaultKappaBits;
+  std::uint32_t value_bits = kDefaultValueBits;
+};
+
+/// One expanded cell: everything needed to run and label it.
+struct SweepJob {
+  std::string label;  ///< "<name>/<adversary>/n<k>[/f..][/L..][/s..][/r..]"
+  std::string protocol;
+  CommonParams params;
+  bool allow_stall = false;  ///< from the registry's known liveness failures
+};
+
+/// Cross-product expansion in the documented stable order. Validates the
+/// protocol name, the adversary names and f < n against the registry;
+/// throws CheckError on invalid specs.
+std::vector<SweepJob> expand(const SweepSpec& spec);
+
+/// Expansion of several specs back to back (label order = spec order).
+std::vector<SweepJob> expand_all(const std::vector<SweepSpec>& specs);
+
+/// Keep only jobs whose label contains `needle` (empty keeps everything).
+std::vector<SweepJob> filter_jobs(std::vector<SweepJob> jobs,
+                                  const std::string& needle);
+
+/// Engine job for one cell: a registry lookup plus a self-contained run
+/// closure (the driver constructs its own Simulation / ledger / RNG from
+/// the params, so cells never share simulator state).
+Job to_engine_job(const SweepJob& sj);
+
+std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs);
+
+/// Parse the spec-file format described in the header comment.
+std::vector<SweepSpec> parse_spec(const std::string& text);
+
+}  // namespace ambb::engine

@@ -14,14 +14,13 @@ namespace ambb {
 
 namespace {
 
-RunResult run_linear_with(const CommonParams& p, linear::Options opts,
-                          double eps = 0.1) {
+RunResult run_linear_with(const CommonParams& p, linear::Options opts) {
   linear::LinearConfig cfg;
   cfg.n = p.n;
   cfg.f = p.f;
   cfg.slots = p.slots;
   cfg.seed = p.seed;
-  cfg.eps = eps;
+  cfg.eps = p.eps;
   cfg.kappa_bits = p.kappa_bits;
   cfg.value_bits = p.value_bits;
   cfg.opts = opts;

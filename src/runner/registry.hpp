@@ -19,6 +19,10 @@ struct CommonParams {
   std::string adversary = "none";
   std::uint32_t kappa_bits = kDefaultKappaBits;
   std::uint32_t value_bits = kDefaultValueBits;
+  /// Expander parameter of the linear-family protocols (f <= (1/2-eps)n);
+  /// ignored by the other families. The default matches the pre-engine
+  /// registry behaviour bit-for-bit.
+  double eps = 0.1;
 };
 
 struct ProtocolInfo {

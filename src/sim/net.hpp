@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "common/check.hpp"
@@ -111,6 +112,18 @@ class TrafficLog {
 /// rushing adversary and observe_round. Indexing is by delivery index (see
 /// the header comment); access goes through the log pointer, so the view
 /// stays valid while Byzantine actors append to the same log.
+///
+/// THREAD-SAFETY: logically const access is NOT thread-safe. operator[]
+/// advances the mutable cursor_ memoization, so two threads indexing the
+/// SAME view instance race on it — a "read-only" view is a writer. This
+/// is by design (the cursor makes sequential scans O(1) amortized and a
+/// Simulation is a single-threaded instrument); the consequence for the
+/// experiment engine (src/engine/) is its isolation rule: concurrent
+/// jobs must each own their own Simulation and must never share one, nor
+/// any TrafficView derived from one. Passing a COPY of a view to another
+/// thread would be safe (each copy carries a private cursor; the
+/// static_assert below keeps copies trivial), but sharing one instance
+/// is not.
 template <typename Msg>
 class TrafficView {
  public:
@@ -144,6 +157,16 @@ class TrafficView {
   std::size_t limit_ = 0;
   mutable std::size_t cursor_ = 0;
 };
+
+// Enforce the thread-safety contract above as far as the type system
+// can: a TrafficView must stay trivially copyable (copy = private cursor,
+// no shared mutable state behind the copy), so that per-thread COPIES
+// remain the safe way to hand traffic to concurrent readers. If someone
+// adds state that breaks this (a lock, a shared cache), this fires and
+// the engine's job-isolation rule must be revisited.
+static_assert(std::is_trivially_copyable_v<TrafficView<int>>,
+              "TrafficView copies must stay trivial: a shared instance is "
+              "not thread-safe (mutable cursor_), per-thread copies are");
 
 /// Sending interface handed to an actor for one round.
 template <typename Msg>

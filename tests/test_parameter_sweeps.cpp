@@ -7,31 +7,69 @@
 //   - value-width independence of the signature machinery.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <tuple>
+#include <utility>
 
 #include "bb/linear_bb.hpp"
 #include "bb/phase_king.hpp"
 #include "bb/quadratic_bb.hpp"
+#include "engine/sweep.hpp"
 
 namespace ambb {
 namespace {
 
 using EpsParam = std::tuple<double, std::string>;
 
+constexpr double kEpsValues[] = {0.05, 0.1, 0.15, 0.2, 0.25};
+constexpr const char* kEpsAdversaries[] = {"none", "silent", "mixed"};
+
+/// The whole eps grid, expanded declaratively (one SweepSpec per eps, so
+/// f is coupled to eps via f-frac = 1/2 - eps) and executed ONCE on the
+/// engine's worker pool; each TEST_P below then asserts its own cell.
+const RunResult& eps_result(double eps, const std::string& adv) {
+  static const auto cache = [] {
+    std::vector<engine::SweepSpec> specs;
+    for (double e : kEpsValues) {
+      engine::SweepSpec spec;
+      spec.name = "eps" + std::to_string(static_cast<int>(e * 100));
+      spec.protocol = "linear";
+      spec.ns = {20};
+      spec.f_frac = 0.5 - e;  // maximal fault load for this eps
+      spec.eps = e;
+      spec.slots_list = {6};
+      spec.adversaries = {kEpsAdversaries[0], kEpsAdversaries[1],
+                          kEpsAdversaries[2]};
+      spec.seed_begin = spec.seed_end = 37;
+      specs.push_back(std::move(spec));
+    }
+    const auto sweep_jobs = engine::expand_all(specs);
+    const auto outcomes =
+        engine::Engine(4).run(engine::to_engine_jobs(sweep_jobs));
+
+    std::map<std::pair<int, std::string>, RunResult> results;
+    std::size_t i = 0;
+    for (double e : kEpsValues) {
+      for (const char* a : kEpsAdversaries) {
+        EXPECT_TRUE(outcomes[i].completed)
+            << outcomes[i].label << ": " << outcomes[i].error;
+        results[{static_cast<int>(e * 100), a}] = outcomes[i].result;
+        ++i;
+      }
+    }
+    return results;
+  }();
+  return cache.at({static_cast<int>(eps * 100), adv});
+}
+
 class EpsSweep : public ::testing::TestWithParam<EpsParam> {};
 
 TEST_P(EpsSweep, LinearCorrectAtMaximalFaultLoad) {
   const auto& [eps, adv] = GetParam();
-  linear::LinearConfig cfg;
-  cfg.n = 20;
-  cfg.f = static_cast<std::uint32_t>((0.5 - eps) * cfg.n);
-  cfg.eps = eps;
-  cfg.slots = 6;
-  cfg.seed = 37;
-  cfg.adversary = adv;
-  auto r = linear::run_linear(cfg);
+  const RunResult& r = eps_result(eps, adv);
+  EXPECT_EQ(r.f, static_cast<std::uint32_t>((0.5 - eps) * 20));
   EXPECT_EQ(check_all(r), std::vector<std::string>{})
-      << "eps=" << eps << " f=" << cfg.f << " adv=" << adv;
+      << "eps=" << eps << " f=" << r.f << " adv=" << adv;
 }
 
 INSTANTIATE_TEST_SUITE_P(

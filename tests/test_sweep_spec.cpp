@@ -1,0 +1,264 @@
+// SweepSpec expansion and the ambb_sweep spec-file parser
+// (src/engine/sweep.hpp): cross-product order, label scheme, fault-load
+// selection modes, filtering, registry validation, and the line-oriented
+// parse errors.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "engine/sweep.hpp"
+#include "runner/registry.hpp"
+
+namespace ambb::engine {
+namespace {
+
+TEST(SweepExpand, DefaultsGiveOneJobWithMinimalLabel) {
+  SweepSpec spec;
+  spec.protocol = "phase-king";
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 1u);
+  // No explicit name: the protocol prefixes the label; single-valued
+  // dimensions (f, L, seed, rep) are omitted after /n.
+  EXPECT_EQ(jobs[0].label, "phase-king/none/n16");
+  EXPECT_EQ(jobs[0].protocol, "phase-king");
+  EXPECT_EQ(jobs[0].params.n, 16u);
+  EXPECT_EQ(jobs[0].params.f, 16u / 3);  // default fault load n/3
+  EXPECT_EQ(jobs[0].params.slots, Slot{8});
+  EXPECT_EQ(jobs[0].params.seed, 1u);
+  EXPECT_FALSE(jobs[0].allow_stall);
+}
+
+TEST(SweepExpand, CrossProductOrderIsNThenFThenSlotsThenAdvThenSeedThenRep) {
+  SweepSpec spec;
+  spec.name = "grid";
+  spec.protocol = "dolev-strong";
+  spec.ns = {8, 12};
+  spec.fs = {1, 2};
+  spec.slots_list = {4, 6};
+  spec.adversaries = {"none", "silent"};
+  spec.seed_begin = 1;
+  spec.seed_end = 2;
+  spec.repetitions = 2;
+
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 64u);  // 2*2*2*2*2*2
+
+  // Innermost dimension first: repetitions vary fastest, n slowest.
+  EXPECT_EQ(jobs[0].label, "grid/none/n8/f1/L4/s1/r1");
+  EXPECT_EQ(jobs[1].label, "grid/none/n8/f1/L4/s1/r2");
+  EXPECT_EQ(jobs[2].label, "grid/none/n8/f1/L4/s2/r1");
+  EXPECT_EQ(jobs[4].label, "grid/silent/n8/f1/L4/s1/r1");
+  EXPECT_EQ(jobs[8].label, "grid/none/n8/f1/L6/s1/r1");
+  EXPECT_EQ(jobs[16].label, "grid/none/n8/f2/L4/s1/r1");
+  EXPECT_EQ(jobs[32].label, "grid/none/n12/f1/L4/s1/r1");
+  EXPECT_EQ(jobs[63].label, "grid/silent/n12/f2/L6/s2/r2");
+
+  // Params track the label.
+  EXPECT_EQ(jobs[63].params.n, 12u);
+  EXPECT_EQ(jobs[63].params.f, 2u);
+  EXPECT_EQ(jobs[63].params.slots, Slot{6});
+  EXPECT_EQ(jobs[63].params.adversary, "silent");
+  EXPECT_EQ(jobs[63].params.seed, 2u);
+}
+
+TEST(SweepExpand, FFracFloorsPerNMatchingBenchArithmetic) {
+  SweepSpec spec;
+  spec.protocol = "linear";
+  spec.ns = {24, 32, 48};
+  spec.f_frac = 0.3;
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 3u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Exactly the cast the benches use: static_cast<uint32_t>(0.3 * n).
+    EXPECT_EQ(jobs[i].params.f,
+              static_cast<std::uint32_t>(0.3 * spec.ns[i]));
+  }
+}
+
+TEST(SweepExpand, FMaxUsesTheRegistryBound) {
+  SweepSpec spec;
+  spec.protocol = "phase-king";
+  spec.ns = {10, 16};
+  spec.f_max = true;
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].params.f, (10u - 1) / 3);
+  EXPECT_EQ(jobs[1].params.f, (16u - 1) / 3);
+}
+
+TEST(SweepExpand, SlotsPerNScalesWithN) {
+  SweepSpec spec;
+  spec.protocol = "linear";
+  spec.ns = {10, 20};
+  spec.slots_per_n = 3;
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].params.slots, Slot{30});
+  EXPECT_EQ(jobs[1].params.slots, Slot{60});
+}
+
+TEST(SweepExpand, AllowStallComesFromRegistryLivenessFailures) {
+  SweepSpec spec;
+  spec.protocol = "hotstuff";
+  spec.ns = {7};
+  spec.fs = {2};
+  spec.adversaries = {"none", "selective"};
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_FALSE(jobs[0].allow_stall);  // none
+  EXPECT_TRUE(jobs[1].allow_stall);   // selective: known stall
+}
+
+TEST(SweepExpand, ValidationErrors) {
+  SweepSpec spec;
+  spec.protocol = "no-such-protocol";
+  EXPECT_THROW(expand(spec), CheckError);
+
+  spec.protocol = "phase-king";
+  spec.adversaries = {"mixed"};  // a linear-family spec, not phase-king's
+  EXPECT_THROW(expand(spec), CheckError);
+
+  spec.adversaries = {"none"};
+  spec.ns = {8};
+  spec.fs = {8};  // f >= n
+  EXPECT_THROW(expand(spec), CheckError);
+
+  spec.fs = {2};
+  spec.seed_begin = 5;
+  spec.seed_end = 4;  // backwards range
+  EXPECT_THROW(expand(spec), CheckError);
+
+  spec.seed_end = 5;
+  spec.repetitions = 0;
+  EXPECT_THROW(expand(spec), CheckError);
+}
+
+TEST(SweepExpand, ExpandAllConcatenatesInSpecOrder) {
+  SweepSpec a;
+  a.name = "a";
+  a.protocol = "phase-king";
+  SweepSpec b;
+  b.name = "b";
+  b.protocol = "dolev-strong";
+  b.ns = {8};
+  b.fs = {1};
+  const auto jobs = expand_all({a, b});
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].label, "a/none/n16");
+  EXPECT_EQ(jobs[1].label, "b/none/n8");
+}
+
+TEST(SweepFilter, SubstringOnLabelsEmptyKeepsAll) {
+  SweepSpec spec;
+  spec.name = "flt";
+  spec.protocol = "dolev-strong";
+  spec.ns = {8, 12};
+  spec.fs = {1};
+  spec.adversaries = {"none", "stagger"};
+  auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 4u);
+
+  const auto stagger = filter_jobs(jobs, "stagger");
+  ASSERT_EQ(stagger.size(), 2u);
+  EXPECT_EQ(stagger[0].label, "flt/stagger/n8");
+  EXPECT_EQ(stagger[1].label, "flt/stagger/n12");
+
+  EXPECT_EQ(filter_jobs(jobs, "n12").size(), 2u);
+  EXPECT_EQ(filter_jobs(jobs, "").size(), 4u);
+  EXPECT_TRUE(filter_jobs(jobs, "no-match").empty());
+}
+
+TEST(SweepToEngineJob, ClosureRunsTheRegistryDriverWithTheCellParams) {
+  SweepSpec spec;
+  spec.protocol = "phase-king";
+  spec.ns = {10};
+  spec.fs = {3};
+  spec.slots_list = {4};
+  spec.seed_begin = spec.seed_end = 41;
+  const auto sjs = expand(spec);
+  ASSERT_EQ(sjs.size(), 1u);
+
+  const Job job = to_engine_job(sjs[0]);
+  EXPECT_EQ(job.label, sjs[0].label);
+  const RunResult r = job.run();
+  EXPECT_EQ(r.n, 10u);
+  EXPECT_EQ(r.f, 3u);
+  EXPECT_EQ(r.slots, Slot{4});
+  EXPECT_EQ(check_all(r), std::vector<std::string>{});
+}
+
+TEST(SpecParser, ParsesBlocksCommentsAndAllKeys) {
+  const std::string text = R"(# leading comment
+sweep alg4
+protocol linear
+n 24 32          # trailing comment
+f-frac 0.3
+slots-per-n 3
+adversary mixed none
+seeds 7 9
+reps 2
+eps 0.2
+kappa 512
+value-bits 128
+
+sweep kings
+protocol phase-king
+n 10
+f max
+slots 4 6
+)";
+  const auto specs = parse_spec(text);
+  ASSERT_EQ(specs.size(), 2u);
+
+  const SweepSpec& s0 = specs[0];
+  EXPECT_EQ(s0.name, "alg4");
+  EXPECT_EQ(s0.protocol, "linear");
+  EXPECT_EQ(s0.ns, (std::vector<std::uint32_t>{24, 32}));
+  EXPECT_DOUBLE_EQ(s0.f_frac, 0.3);
+  EXPECT_EQ(s0.slots_per_n, 3u);
+  EXPECT_EQ(s0.adversaries, (std::vector<std::string>{"mixed", "none"}));
+  EXPECT_EQ(s0.seed_begin, 7u);
+  EXPECT_EQ(s0.seed_end, 9u);
+  EXPECT_EQ(s0.repetitions, 2u);
+  EXPECT_DOUBLE_EQ(s0.eps, 0.2);
+  EXPECT_EQ(s0.kappa_bits, 512u);
+  EXPECT_EQ(s0.value_bits, 128u);
+
+  const SweepSpec& s1 = specs[1];
+  EXPECT_EQ(s1.name, "kings");
+  EXPECT_TRUE(s1.f_max);
+  EXPECT_EQ(s1.slots_list, (std::vector<Slot>{4, 6}));
+  // Unset keys keep their defaults in the second block.
+  EXPECT_EQ(s1.adversaries, std::vector<std::string>{"none"});
+  EXPECT_EQ(s1.repetitions, 1u);
+
+  // End-to-end expansion: 2n * 2adv * 3seeds * 2reps + 1n * 2slots.
+  EXPECT_EQ(expand_all(specs).size(), 24u + 2u);
+}
+
+TEST(SpecParser, ErrorsCarryTheOffendingLine) {
+  auto expect_parse_error = [](const std::string& text,
+                               const std::string& needle) {
+    try {
+      parse_spec(text);
+      FAIL() << "expected CheckError for:\n" << text;
+    } catch (const CheckError& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << e.what();
+    }
+  };
+
+  expect_parse_error("protocol linear\n", "key before any 'sweep'");
+  expect_parse_error("sweep x\nfrobnicate 3\n", "unknown key 'frobnicate'");
+  expect_parse_error("sweep x\nprotocol linear\nn\n", "needs a value");
+  expect_parse_error("sweep x\nprotocol linear\nn twelve\n", "line 3");
+  expect_parse_error("sweep x\nprotocol linear\nseeds 4\n",
+                     "'seeds' needs begin end");
+  expect_parse_error("sweep one two\n", "'sweep' needs one name");
+  expect_parse_error("sweep x\nn 8\n", "has no 'protocol' key");
+}
+
+}  // namespace
+}  // namespace ambb::engine

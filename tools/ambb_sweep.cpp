@@ -1,0 +1,195 @@
+// ambb_sweep — run declarative experiment sweeps on the parallel engine.
+//
+//   ambb_sweep --spec FILE [--jobs N] [--filter SUBSTR] [--out NAME]
+//              [--list]
+//
+//   --spec FILE      sweep specification (format: src/engine/sweep.hpp)
+//   --jobs N         worker threads; 0 or omitted = one per hardware
+//                    thread; 1 = serial (byte-identical results either
+//                    way — that is the engine's determinism contract)
+//   --filter SUBSTR  keep only jobs whose label contains SUBSTR
+//   --out NAME       write BENCH_<NAME>.json (default: sweep)
+//   --list           print the expanded job labels and exit
+//
+// Per-job failure isolation: a job that throws (AMBB_CHECK) or violates
+// a BB property is reported as a structured failure row — and an "error"
+// field in the json — instead of killing the sweep; the exit code is
+// non-zero iff any job failed.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "engine/engine.hpp"
+#include "engine/report.hpp"
+#include "engine/sweep.hpp"
+#include "runner/table.hpp"
+
+namespace {
+
+struct Cli {
+  std::string spec_path;
+  std::string filter;
+  std::string out = "sweep";
+  unsigned jobs = 0;
+  bool list = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ambb_sweep --spec FILE [--jobs N] [--filter SUBSTR] "
+               "[--out NAME] [--list]\n");
+}
+
+bool parse_cli(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ambb_sweep: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--spec") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.spec_path = v;
+    } else if (arg == "--jobs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--filter") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.filter = v;
+    } else if (arg == "--out") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.out = v;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "ambb_sweep: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (cli.spec_path.empty()) {
+    std::fprintf(stderr, "ambb_sweep: --spec is required\n");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ambb;
+
+  Cli cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage(stderr);
+    return 2;
+  }
+
+  std::ifstream in(cli.spec_path);
+  if (!in) {
+    std::fprintf(stderr, "ambb_sweep: cannot read spec file '%s'\n",
+                 cli.spec_path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  std::vector<engine::SweepJob> sweep_jobs;
+  try {
+    sweep_jobs = engine::filter_jobs(
+        engine::expand_all(engine::parse_spec(text.str())), cli.filter);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "ambb_sweep: invalid spec: %s\n", e.what());
+    return 2;
+  }
+
+  if (cli.list) {
+    for (const auto& sj : sweep_jobs) std::printf("%s\n", sj.label.c_str());
+    std::printf("%zu jobs\n", sweep_jobs.size());
+    return 0;
+  }
+  if (sweep_jobs.empty()) {
+    std::fprintf(stderr, "ambb_sweep: nothing to run (filter '%s')\n",
+                 cli.filter.c_str());
+    return 2;
+  }
+
+  const engine::Engine eng(cli.jobs);
+  std::printf("ambb_sweep: %zu jobs on %u worker thread%s\n",
+              sweep_jobs.size(), eng.jobs(), eng.jobs() == 1 ? "" : "s");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<engine::JobOutcome> outcomes =
+      eng.run(engine::to_engine_jobs(sweep_jobs));
+  const double wall_ms_total = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+
+  std::vector<engine::RunRecord> records;
+  records.reserve(outcomes.size());
+  std::size_t violations = 0;
+  std::size_t failed_jobs = 0;
+  TextTable t({"run", "rounds", "honest bits", "adv bits", "amortized",
+               "wall ms", "status"});
+  for (const auto& out : outcomes) {
+    engine::RunRecord rec = engine::to_record(out);
+    std::string status = "ok";
+    if (!out.completed) {
+      status = "FAILED";
+      ++failed_jobs;
+    } else if (!out.violations.empty()) {
+      status = "VIOLATION";
+    }
+    t.add_row({rec.label, std::to_string(rec.rounds),
+               TextTable::bits_human(static_cast<double>(rec.honest_bits)),
+               TextTable::bits_human(static_cast<double>(rec.adversary_bits)),
+               TextTable::bits_human(rec.amortized),
+               TextTable::num(rec.wall_ms, 1), status});
+    violations += rec.violations;
+    records.push_back(std::move(rec));
+  }
+  std::printf("%s", t.render().c_str());
+
+  // Structured failure rows: what went wrong, per job, after the table.
+  for (const auto& out : outcomes) {
+    if (!out.completed) {
+      std::printf("!! %s did not complete: %s\n", out.label.c_str(),
+                  out.error.c_str());
+    } else if (!out.violations.empty()) {
+      std::printf("!! %s: %zu property violations (first: %s)\n",
+                  out.label.c_str(), out.violations.size(),
+                  out.violations[0].c_str());
+    }
+  }
+
+  const std::string path = "BENCH_" + cli.out + ".json";
+  if (engine::write_bench_json(path, cli.out, records, violations, eng.jobs(),
+                               wall_ms_total)) {
+    std::printf("wrote %s (%zu runs, %u threads, %.1f ms total)\n",
+                path.c_str(), records.size(), eng.jobs(), wall_ms_total);
+  } else {
+    std::fprintf(stderr, "ambb_sweep: could not write %s\n", path.c_str());
+    return 2;
+  }
+
+  if (violations != 0 || failed_jobs != 0) {
+    std::printf("!! %zu violations, %zu failed jobs — failing the sweep\n",
+                violations, failed_jobs);
+    return 1;
+  }
+  return 0;
+}
