@@ -120,12 +120,9 @@ RunResult timed_checked(const std::string& label, Fn&& run,
 /// failures the registry knows about skip the termination check.
 inline Job registry_job(const std::string& proto, const CommonParams& p) {
   const ProtocolInfo& info = protocol(proto);
-  bool stall_ok = false;
-  for (const auto& a : info.known_liveness_failures) {
-    if (a == p.adversary) stall_ok = true;
-  }
   return Job{proto + "/" + p.adversary + "/n" + std::to_string(p.n),
-             [&info, p] { return info.run(p); }, stall_ok};
+             [&info, p] { return info.run(p); },
+             may_stall(info, p.adversary)};
 }
 
 /// Run a protocol from the registry and sanity-check the run (so the

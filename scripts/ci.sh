@@ -1,14 +1,21 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus the ThreadSanitizer pass over the experiment engine.
+# Tier-1 gate plus the sanitizer passes.
 #
-#   scripts/ci.sh          # full: tier-1 build+tests, then TSan engine suite
+#   scripts/ci.sh          # full: tier-1, then TSan engine, then ASan+UBSan
 #   scripts/ci.sh tier1    # only the tier-1 build + full test suite
 #   scripts/ci.sh tsan     # only the TSan build + `ctest -L engine`
+#   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine"`
 #
 # The TSan stage rebuilds into build-tsan/ (see CMakePresets.json) and runs
 # exactly the engine-labelled tests: they exercise the worker pool with
 # real protocol drivers, so a data race anywhere on the job path —
 # engine, sweep expansion, registry, simulator — trips it.
+#
+# The ASan+UBSan stage rebuilds into build-asan/ and runs the adversary
+# and engine suites: the fault-injection paths (after-the-fact erasure,
+# mid-run actor replacement, staggered-release buffers) are exactly where
+# a stale Delivery pointer or index overflow would hide, and the
+# fuzz-schedule tests drive them through hundreds of random compositions.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,15 +39,27 @@ tsan() {
   TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j "$jobs"
 }
 
+asan() {
+  echo "== asan: configure + build =="
+  cmake --preset asan
+  cmake --build --preset asan -j "$jobs"
+  echo "== asan: ctest -L 'adversary|engine' =="
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
+    UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    ctest --preset asan -j "$jobs"
+}
+
 case "$stage" in
   tier1) tier1 ;;
   tsan) tsan ;;
+  asan) asan ;;
   all)
     tier1
     tsan
+    asan
     ;;
   *)
-    echo "usage: $0 [tier1|tsan|all]" >&2
+    echo "usage: $0 [tier1|tsan|asan|all]" >&2
     exit 2
     ;;
 esac

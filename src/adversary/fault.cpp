@@ -1,0 +1,114 @@
+#include "adversary/fault.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace ambb::adversary {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kSilence: return "silence";
+    case FaultKind::kSelective: return "selective";
+    case FaultKind::kShuffle: return "shuffle";
+    case FaultKind::kStagger: return "stagger";
+  }
+  return "?";
+}
+
+void validate(const FaultSchedule& s, std::uint32_t n, std::uint32_t f) {
+  std::vector<Round> corrupt_from(n, kRoundMax);  // kRoundMax = never
+  std::uint32_t distinct = 0;
+  for (const auto& c : s.corruptions) {
+    AMBB_CHECK_MSG(c.node < n, "corrupt(" << c.from << ", " << c.node
+                                          << "): node out of range, n=" << n);
+    AMBB_CHECK_MSG(corrupt_from[c.node] == kRoundMax,
+                   "node " << c.node << " corrupted twice");
+    corrupt_from[c.node] = c.from;
+    ++distinct;
+  }
+  AMBB_CHECK_MSG(distinct <= f, "schedule corrupts " << distinct
+                                                     << " nodes, budget f="
+                                                     << f);
+  for (const auto& e : s.erasures) {
+    AMBB_CHECK_MSG(e.sender < n, "erase@" << e.round << ": sender " << e.sender
+                                          << " out of range, n=" << n);
+    AMBB_CHECK_MSG(e.density_permille <= kDensityAll,
+                   "erase@" << e.round << ": density " << e.density_permille
+                            << " > 1000 permille");
+    AMBB_CHECK_MSG(e.to_mod >= 1, "erase@" << e.round << ": to_mod 0");
+    AMBB_CHECK_MSG(e.to_rem < e.to_mod,
+                   "erase@" << e.round << ": to_rem >= to_mod");
+    // After-the-fact removal needs the sender corrupt by the end of the
+    // erase round, i.e. a corrupt event with from <= round + 1.
+    AMBB_CHECK_MSG(corrupt_from[e.sender] != kRoundMax &&
+                       corrupt_from[e.sender] <= e.round + 1,
+                   "erase@" << e.round << ": sender " << e.sender
+                            << " is not corrupt by the end of that round");
+  }
+  for (const auto& a : s.actor_faults) {
+    AMBB_CHECK_MSG(a.node < n, fault_kind_name(a.kind)
+                                   << ": node " << a.node
+                                   << " out of range, n=" << n);
+    AMBB_CHECK_MSG(corrupt_from[a.node] != kRoundMax,
+                   fault_kind_name(a.kind) << "(" << a.node
+                                           << "): node is never corrupted");
+    AMBB_CHECK_MSG(a.from >= corrupt_from[a.node],
+                   fault_kind_name(a.kind)
+                       << "(" << a.node << "): window starts at round "
+                       << a.from << " but the node turns Byzantine at round "
+                       << corrupt_from[a.node]);
+    AMBB_CHECK_MSG(a.to >= a.from, fault_kind_name(a.kind)
+                                       << "(" << a.node
+                                       << "): inverted window");
+    if (a.kind == FaultKind::kStagger) {
+      AMBB_CHECK_MSG(a.delay >= 1, "stagger(" << a.node << "): delay 0");
+    }
+    if (a.kind == FaultKind::kSelective) {
+      for (NodeId v : a.keep) {
+        AMBB_CHECK_MSG(v < n, "selective(" << a.node << "): keep node " << v
+                                           << " out of range");
+      }
+    }
+  }
+}
+
+std::string describe(const FaultSchedule& s) {
+  std::ostringstream os;
+  os << "sched:";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ";";
+    first = false;
+  };
+  for (const auto& c : s.corruptions) {
+    sep();
+    os << "corrupt(" << c.from << "," << c.node << ")";
+  }
+  for (const auto& e : s.erasures) {
+    sep();
+    os << "erase(" << e.round << "," << e.sender << ","
+       << e.density_permille;
+    if (e.to_mod != 1) os << "," << e.to_mod << "," << e.to_rem;
+    os << ")";
+  }
+  for (const auto& a : s.actor_faults) {
+    sep();
+    os << fault_kind_name(a.kind) << "(" << a.node << "," << a.from << ",";
+    if (a.to == kRoundMax) {
+      os << "*";
+    } else {
+      os << a.to;
+    }
+    if (a.kind == FaultKind::kStagger) os << "," << a.delay;
+    if (a.kind == FaultKind::kSelective) {
+      for (NodeId v : a.keep) os << "," << v;
+    }
+    os << ")";
+  }
+  if (first) os << "(empty)";
+  return os.str();
+}
+
+}  // namespace ambb::adversary

@@ -1,0 +1,100 @@
+#include "adversary/fuzz.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace ambb::adversary {
+
+FaultSchedule generate_schedule(std::uint32_t n, std::uint32_t f,
+                                Round horizon, std::uint64_t seed) {
+  AMBB_CHECK(n >= 1 && f < n);
+  FaultSchedule s;
+  if (f == 0 || horizon == 0) return s;
+
+  Rng rng(seed ^ 0xF0A57C4EDC11ULL);
+
+  // How many nodes to corrupt: at least one (an empty adversary tells us
+  // nothing), at most the full budget f.
+  const std::uint32_t count =
+      1 + static_cast<std::uint32_t>(rng.uniform(f));
+  std::vector<std::uint64_t> picks = rng.sample_distinct(n, count);
+
+  for (std::uint64_t pick : picks) {
+    const NodeId v = static_cast<NodeId>(pick);
+    // 60%: corrupt from the start; 40%: strongly adaptive mid-run
+    // corruption at a random round.
+    Round from = 0;
+    if (rng.chance(0.4)) from = 1 + rng.uniform(horizon);
+    s.corruptions.push_back(CorruptEvent{from, v});
+
+    // A node corrupted at round r > 0 exercises after-the-fact removal:
+    // usually erase a chunk of the traffic it sent in round r-1 (the
+    // round the adversary observed before striking).
+    if (from > 0 && rng.chance(0.75)) {
+      EraseEvent e;
+      e.round = from - 1;
+      e.sender = v;
+      e.density_permille = static_cast<std::uint32_t>(
+          rng.uniform_range(250, kDensityAll));
+      if (rng.chance(0.5)) {  // recipient stride: every 2nd or 3rd node
+        e.to_mod = static_cast<std::uint32_t>(rng.uniform_range(2, 3));
+        e.to_rem = static_cast<std::uint32_t>(rng.uniform(e.to_mod));
+      }
+      e.salt = rng.next_u64();
+      s.erasures.push_back(e);
+    }
+
+    // 0..2 actor faults over windows inside [from, horizon].
+    const std::uint32_t nfaults = static_cast<std::uint32_t>(rng.uniform(3));
+    for (std::uint32_t j = 0; j < nfaults; ++j) {
+      ActorFault a;
+      a.node = v;
+      a.from = from + rng.uniform(std::max<Round>(1, horizon - from));
+      // Windows are long-tailed: half end with the run.
+      a.to = rng.chance(0.5)
+                 ? kRoundMax
+                 : a.from + rng.uniform_range(1, horizon);
+      switch (rng.uniform(4)) {
+        case 0:
+          a.kind = FaultKind::kSilence;
+          break;
+        case 1: {
+          a.kind = FaultKind::kSelective;
+          // Keep a random subset of roughly half the nodes; may be empty
+          // (= silence) or everyone (= no-op) at the extremes.
+          for (NodeId u = 0; u < n; ++u) {
+            if (rng.chance(0.5)) a.keep.push_back(u);
+          }
+          break;
+        }
+        case 2:
+          a.kind = FaultKind::kShuffle;
+          break;
+        default:
+          a.kind = FaultKind::kStagger;
+          a.delay = static_cast<std::uint32_t>(rng.uniform_range(1, 3));
+          break;
+      }
+      s.actor_faults.push_back(a);
+    }
+
+    // Long-corrupt nodes may also erase later rounds they sent in (the
+    // sender is corrupt then, so still after-the-fact-legal).
+    if (rng.chance(0.3)) {
+      EraseEvent e;
+      e.round = from + rng.uniform(std::max<Round>(1, horizon - from));
+      e.sender = v;
+      e.density_permille =
+          static_cast<std::uint32_t>(rng.uniform_range(100, kDensityAll));
+      e.salt = rng.next_u64();
+      s.erasures.push_back(e);
+    }
+  }
+
+  validate(s, n, f);
+  return s;
+}
+
+}  // namespace ambb::adversary

@@ -1,0 +1,32 @@
+// Seeded randomized fault-schedule generation.
+//
+// generate_schedule draws a budget-respecting FaultSchedule from a single
+// 64-bit seed: corruption times (mostly initial, some mid-run), actor
+// faults per corrupted node (silence / selective / shuffle / stagger
+// windows), and after-the-fact erase rules with random densities. Every
+// draw flows through one Rng, so the schedule — and therefore the whole
+// execution — is a pure function of (n, f, horizon, seed); the engine's
+// determinism contract then makes fuzz sweeps byte-identical for any
+// --jobs value.
+//
+// The generator stays inside the threat model the protocols are proved
+// against: at most f distinct corruptions, erasures only of senders that
+// are corrupt by the end of the erased round, faults only on corrupt
+// nodes. A property violation under a generated schedule is therefore
+// always a finding about the protocol (or the simulator), never about
+// the schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "adversary/fault.hpp"
+
+namespace ambb::adversary {
+
+/// Random schedule over `horizon` rounds (the driver's slots *
+/// rounds_per_slot). Always validate()-clean for (n, f). f == 0 yields an
+/// empty schedule.
+FaultSchedule generate_schedule(std::uint32_t n, std::uint32_t f,
+                                Round horizon, std::uint64_t seed);
+
+}  // namespace ambb::adversary

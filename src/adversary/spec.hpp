@@ -1,0 +1,51 @@
+// String form of fault schedules, usable anywhere an adversary name is
+// accepted (driver configs, sweep spec files, the registry).
+//
+//   sched:<op>[;<op>]*        explicit schedule
+//   fuzz                      seeded random schedule (seed = run seed)
+//   fuzz:<profile>            ditto, with <profile> mixed into the seed so
+//                             one sweep row can run many distinct schedules
+//
+// Ops (all arguments are unsigned integers; `*` means "end of run"):
+//   corrupt(r,v[,v...])       corrupt nodes v... from round r on (r=0:
+//                             initially corrupt; r>0: corrupted at the end
+//                             of round r-1, after-the-fact)
+//   erase(r,v[,d[,m,rem]])    erase sender-v deliveries of round r with
+//                             density d permille (default 1000) over
+//                             recipients with to % m == rem (default all)
+//   silence(v,from,to)        v emits nothing in rounds [from, to]
+//   selective(v,from,to,k...) v's sends reach only recipients k...
+//   shuffle(v,from,to)        permute v's per-recipient payloads
+//   stagger(v,from,to,d)      v's round-r output is released in round r+d
+//
+// Example — the strongly adaptive proposal-erasure attack: corrupt the
+// slot-1 sender right after it multicasts (round 1) and remove the copies
+// addressed to odd nodes:
+//
+//   sched:corrupt(2,0);erase(1,0,1000,2,1)
+//
+// Specs contain no whitespace, so they tokenize as one word in sweep spec
+// files. parse_schedule_spec throws CheckError with a position-annotated
+// message on malformed input; the result still needs validate() against
+// (n, f) before use (make_scheduled_adversary does both).
+#pragma once
+
+#include <string>
+
+#include "adversary/fault.hpp"
+
+namespace ambb::adversary {
+
+/// True for any spec this framework handles: "sched:..." / "fuzz[:k]".
+bool is_schedule_spec(const std::string& spec);
+
+/// True for the randomized form ("fuzz" or "fuzz:<profile>").
+bool is_fuzz_spec(const std::string& spec);
+
+/// Profile number of a fuzz spec (0 for plain "fuzz").
+std::uint64_t fuzz_profile(const std::string& spec);
+
+/// Parse a "sched:..." string. Throws CheckError on malformed input.
+FaultSchedule parse_schedule_spec(const std::string& spec);
+
+}  // namespace ambb::adversary

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "adversary/scheduled.hpp"
 #include "common/byte_buf.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -249,14 +250,26 @@ RunResult run_dolev_strong(const DsConfig& cfg) {
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<DsNode>(v, &ctx));
   }
+  const std::uint64_t total_rounds =
+      static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
   std::unique_ptr<Adversary<Msg>> adversary;
-  if (cfg.adversary != "none") {
+  if (adversary::is_schedule_spec(cfg.adversary)) {
+    adversary::ScheduleEnv<Msg> env;
+    env.n = cfg.n;
+    env.f = cfg.f;
+    env.seed = cfg.seed ^ 0xAD7E25A1ULL;
+    env.horizon = total_rounds;
+    env.honest_factory = [ctxp = &ctx](NodeId v) {
+      return std::make_unique<DsNode>(v, ctxp);
+    };
+    adversary = adversary::make_scheduled_adversary<Msg>(cfg.adversary, env);
+    sim.bind_adversary(adversary.get());
+  } else if (cfg.adversary != "none") {
     adversary = std::make_unique<DsAdversary>(&ctx, cfg.adversary);
     sim.bind_adversary(adversary.get());
   }
 
-  sim.run_rounds(static_cast<std::uint64_t>(cfg.slots) *
-                 ctx.sched.rounds_per_slot());
+  sim.run_rounds(total_rounds);
 
   RunResult res;
   res.n = cfg.n;

@@ -1,5 +1,6 @@
 #include "bb/hotstuff_demo.hpp"
 
+#include "adversary/scheduled.hpp"
 #include "common/byte_buf.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
@@ -265,16 +266,28 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<HsNode>(v, &ctx));
   }
+  const std::uint64_t total_rounds =
+      static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
   std::unique_ptr<Adversary<Msg>> adversary;
-  if (cfg.adversary == "selective") {
+  if (adversary::is_schedule_spec(cfg.adversary)) {
+    adversary::ScheduleEnv<Msg> env;
+    env.n = cfg.n;
+    env.f = cfg.f;
+    env.seed = cfg.seed ^ 0xAD7E25A1ULL;
+    env.horizon = total_rounds;
+    env.honest_factory = [ctxp = &ctx](NodeId v) {
+      return std::make_unique<HsNode>(v, ctxp);
+    };
+    adversary = adversary::make_scheduled_adversary<Msg>(cfg.adversary, env);
+    sim.bind_adversary(adversary.get());
+  } else if (cfg.adversary == "selective") {
     adversary = std::make_unique<SelectiveHsAdversary>(&ctx);
     sim.bind_adversary(adversary.get());
   } else {
     AMBB_CHECK_MSG(cfg.adversary == "none",
                    "unknown hs adversary " << cfg.adversary);
   }
-  sim.run_rounds(static_cast<std::uint64_t>(cfg.slots) *
-                 ctx.sched.rounds_per_slot());
+  sim.run_rounds(total_rounds);
 
   return assemble_result(
       cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits, sim.round_stats(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "adversary/scheduled.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 
@@ -111,110 +112,105 @@ std::unique_ptr<Deviation> make_deviation_for_role(const std::string& role,
 }
 
 // ---------------------------------------------------------------------------
-// Adversaries
+// Adversaries, expressed as fault schedules (src/adversary/)
 // ---------------------------------------------------------------------------
 
-/// Corrupts the first f nodes; assigns each a deviation role.
-class StaticAdversary final : public Adversary<Msg> {
- public:
-  StaticAdversary(const Context* ctx, std::uint64_t seed,
-                  std::function<std::string(std::uint32_t idx)> role_of)
-      : ctx_(ctx), seed_(seed), role_of_(std::move(role_of)) {}
+using SchedAdv = adversary::ScheduledAdversary<Msg>;
 
-  std::vector<NodeId> initial_corruptions() override {
-    std::vector<NodeId> out;
-    for (NodeId v = 0; v < ctx_->f; ++v) out.push_back(v);
-    return out;
+/// Schedule fragment shared by all static strategies: the first f nodes
+/// are corrupt from round 0.
+adversary::FaultSchedule corrupt_first_f(std::uint32_t f) {
+  adversary::FaultSchedule s;
+  for (NodeId v = 0; v < f; ++v) {
+    s.corruptions.push_back(adversary::CorruptEvent{0, v});
   }
+  return s;
+}
 
-  std::unique_ptr<Actor<Msg>> actor_for(NodeId node) override {
-    return std::make_unique<LinearNode>(
-        node, ctx_,
-        make_deviation_for_role(role_of_(node), ctx_, seed_ + node));
-  }
-
- private:
-  const Context* ctx_;
-  std::uint64_t seed_;
-  std::function<std::string(std::uint32_t)> role_of_;
-};
+/// Static strategy = corrupt-first-f schedule + Deviation-carrying
+/// LinearNodes plugged in through the byzantine-factory override.
+std::unique_ptr<Adversary<Msg>> make_static(
+    const Context* ctx, std::uint64_t seed,
+    std::function<std::string(std::uint32_t idx)> role_of) {
+  return std::make_unique<SchedAdv>(
+      corrupt_first_f(ctx->f), ctx->n, seed, nullptr,
+      [ctx, seed, role_of = std::move(role_of)](NodeId node) {
+        return std::make_unique<LinearNode>(
+            node, ctx,
+            make_deviation_for_role(role_of(node), ctx, seed + node));
+      });
+}
 
 /// Strongly adaptive demonstration: no initial corruption; corrupts the
-/// slot-1 sender right after it multicasts its proposal and erases the
-/// copies addressed to odd nodes (after-the-fact message removal). The
-/// corrupted sender is silent afterwards.
-class AdaptiveEraseAdversary final : public Adversary<Msg> {
- public:
-  explicit AdaptiveEraseAdversary(const Context* ctx) : ctx_(ctx) {}
-
-  std::vector<NodeId> initial_corruptions() override { return {}; }
-
-  std::unique_ptr<Actor<Msg>> actor_for(NodeId node) override {
-    return std::make_unique<LinearNode>(node, ctx_,
-                                        std::make_unique<SilentDev>());
-  }
-
-  void observe_round(Round r, const TrafficView<Msg>& traffic,
-                     CorruptionCtl<Msg>& ctl) override {
-    if (done_ || ctx_->f == 0) return;
-    const Schedule& s = ctx_->sched;
-    if (s.slot_of(r) != 1 || s.epoch_of(r) != 0 || s.offset_of(r) != 1) {
-      return;
-    }
-    const NodeId sender = ctx_->sender_of(1);
-    bool corrupted = false;
-    for (std::size_t idx = 0; idx < traffic.size(); ++idx) {
-      const auto env = traffic[idx];
-      if (env.from != sender || env.msg.kind != Kind::kPropose) continue;
-      if (!corrupted) {
-        ctl.corrupt(sender);
-        corrupted = true;
-      }
-      if (env.to % 2 == 1) ctl.erase(idx);
-    }
-    done_ = true;
-  }
-
- private:
-  const Context* ctx_;
-  bool done_ = false;
-};
+/// slot-1 sender right after it multicasts its proposal (slot 1, epoch 0,
+/// offset 1 = absolute round 1) and erases the proposal copies addressed
+/// to odd nodes (after-the-fact message removal). The corrupted sender is
+/// silent afterwards.
+std::unique_ptr<Adversary<Msg>> make_adaptive_erase(const Context* ctx,
+                                                    std::uint64_t seed) {
+  const NodeId sender = ctx->sender_of(1);
+  adversary::FaultSchedule s;
+  s.corruptions.push_back(adversary::CorruptEvent{2, sender});
+  auto adv = std::make_unique<SchedAdv>(
+      std::move(s), ctx->n, seed, nullptr, [ctx](NodeId node) {
+        return std::make_unique<LinearNode>(node, ctx,
+                                            std::make_unique<SilentDev>());
+      });
+  adv->add_erase(
+      adversary::EraseEvent{/*round=*/1, sender, adversary::kDensityAll,
+                            /*to_mod=*/2, /*to_rem=*/1, /*salt=*/0},
+      [](NodeId, const Msg& m) { return m.kind == Kind::kPropose; });
+  return adv;
+}
 
 }  // namespace
 
 std::unique_ptr<Adversary<Msg>> make_adversary(const std::string& spec,
                                                const Context* ctx,
-                                               std::uint64_t seed) {
+                                               std::uint64_t seed,
+                                               Round horizon) {
   if (spec == "none") return nullptr;
+  if (adversary::is_schedule_spec(spec)) {
+    adversary::ScheduleEnv<Msg> env;
+    env.n = ctx->n;
+    env.f = ctx->f;
+    env.seed = seed;
+    env.horizon = horizon;
+    // No-op Deviation marker: the corrupted-seat replica is behaviourally
+    // honest, but any honest-only invariant in LinearNode must treat it
+    // as Byzantine (it may start from fresh state mid-run).
+    env.honest_factory = [ctx](NodeId node) {
+      return std::make_unique<LinearNode>(node, ctx,
+                                          std::make_unique<Deviation>());
+    };
+    return adversary::make_scheduled_adversary<Msg>(spec, env);
+  }
   if (spec == "silent" || spec == "equivocate" || spec == "selective" ||
       spec == "flood" || spec == "drop") {
-    return std::make_unique<StaticAdversary>(
-        ctx, seed, [spec](std::uint32_t) { return spec; });
+    return make_static(ctx, seed, [spec](std::uint32_t) { return spec; });
   }
   if (spec == "chaos") {
     // Seeded random role per corrupt node: covers strategy combinations
     // the hand-picked mixes do not.
-    return std::make_unique<StaticAdversary>(
-        ctx, seed, [seed](std::uint32_t idx) -> std::string {
-          static const char* kRoles[] = {"silent", "equivocate", "selective",
-                                         "flood", "drop"};
-          std::uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL * (idx + 1));
-          return kRoles[splitmix64(h) % 5];
-        });
+    return make_static(ctx, seed, [seed](std::uint32_t idx) -> std::string {
+      static const char* kRoles[] = {"silent", "equivocate", "selective",
+                                     "flood", "drop"};
+      std::uint64_t h = seed ^ (0x9e3779b97f4a7c15ULL * (idx + 1));
+      return kRoles[splitmix64(h) % 5];
+    });
   }
   if (spec == "mixed") {
-    return std::make_unique<StaticAdversary>(
-        ctx, seed, [](std::uint32_t idx) -> std::string {
-          switch (idx % 4) {
-            case 0: return "selective";
-            case 1: return "silent";
-            case 2: return "flood";
-            default: return "equivocate";
-          }
-        });
+    return make_static(ctx, seed, [](std::uint32_t idx) -> std::string {
+      switch (idx % 4) {
+        case 0: return "selective";
+        case 1: return "silent";
+        case 2: return "flood";
+        default: return "equivocate";
+      }
+    });
   }
   if (spec == "adaptive-erase") {
-    return std::make_unique<AdaptiveEraseAdversary>(ctx);
+    return make_adaptive_erase(ctx, seed);
   }
   AMBB_CHECK_MSG(false, "unknown adversary spec '" << spec << "'");
 }

@@ -18,6 +18,14 @@
 //   "adaptive-erase" starts with zero corruptions; corrupts the slot-1
 //                   sender after seeing its proposal and erases the copies
 //                   sent to odd-numbered nodes (after-the-fact removal)
+//   "sched:..."     explicit fault schedule (src/adversary/spec.hpp)
+//   "fuzz[:k]"      seeded random fault schedule (src/adversary/fuzz.hpp)
+//
+// All named strategies are expressed on the src/adversary/ primitives: a
+// ScheduledAdversary carries the corruption/erase schedule, and the
+// Deviation-based Byzantine actors plug in via its byzantine-factory
+// override. "sched:"/"fuzz" specs use the generic FaultedActor wrapping
+// around honest LinearNodes instead.
 #pragma once
 
 #include <memory>
@@ -28,8 +36,11 @@
 namespace ambb::linear {
 
 /// Returns nullptr for "none". Throws CheckError on an unknown spec.
+/// `horizon` is the total number of rounds the driver will run (used by
+/// the "fuzz" schedule generator to place events).
 std::unique_ptr<Adversary<Msg>> make_adversary(const std::string& spec,
                                                const Context* ctx,
-                                               std::uint64_t seed);
+                                               std::uint64_t seed,
+                                               Round horizon);
 
 }  // namespace ambb::linear

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "adversary/scheduled.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "runner/assemble.hpp"
@@ -277,13 +278,25 @@ RunResult run_phase_king(const PkConfig& cfg) {
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<PkNode>(v, &ctx, nullptr, cfg.seed));
   }
+  const std::uint64_t total_rounds =
+      static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
   std::unique_ptr<Adversary<Msg>> adversary;
-  if (cfg.adversary != "none") {
+  if (adversary::is_schedule_spec(cfg.adversary)) {
+    adversary::ScheduleEnv<Msg> env;
+    env.n = cfg.n;
+    env.f = cfg.f;
+    env.seed = cfg.seed ^ 0xAD7E25A1ULL;
+    env.horizon = total_rounds;
+    env.honest_factory = [ctxp = &ctx, seed = cfg.seed](NodeId v) {
+      return std::make_unique<PkNode>(v, ctxp, nullptr, seed);
+    };
+    adversary = adversary::make_scheduled_adversary<Msg>(cfg.adversary, env);
+    sim.bind_adversary(adversary.get());
+  } else if (cfg.adversary != "none") {
     adversary = std::make_unique<PkAdversary>(&ctx, cfg.adversary, cfg.seed);
     sim.bind_adversary(adversary.get());
   }
-  sim.run_rounds(static_cast<std::uint64_t>(cfg.slots) *
-                 ctx.sched.rounds_per_slot());
+  sim.run_rounds(total_rounds);
 
   return assemble_result(
       cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits, sim.round_stats(),

@@ -1,6 +1,7 @@
 // Adversary strategies for Algorithm 5.2 / TrustCast.
 #include <algorithm>
 
+#include "adversary/scheduled.hpp"
 #include "bb/quadratic_bb.hpp"
 #include "common/check.hpp"
 
@@ -133,66 +134,70 @@ class FramerDev final : public Deviation {
   std::vector<std::uint8_t> framed_;
 };
 
-class StaticQuadAdversary final : public Adversary<Msg> {
- public:
-  StaticQuadAdversary(const Context* ctx, std::uint64_t seed,
-                      std::string role)
-      : ctx_(ctx), seed_(seed), role_(std::move(role)) {}
-
-  std::vector<NodeId> initial_corruptions() override {
-    std::vector<NodeId> out;
-    for (NodeId v = 0; v < ctx_->f; ++v) out.push_back(v);
-    return out;
+std::unique_ptr<Deviation> make_quad_deviation(const std::string& role) {
+  if (role == "silent") return std::make_unique<SilentDev>();
+  if (role == "equivocate") return std::make_unique<EquivocateDev>();
+  if (role == "lateprop") return std::make_unique<LatePropDev>();
+  if (role == "floodaccuse") return std::make_unique<FloodAccuseDev>();
+  if (role == "framer") return std::make_unique<FramerDev>();
+  if (role == "conspiracy") {
+    // Every corrupt node acts as a colluder; when it happens to be the
+    // slot sender, the sender deviation applies.
+    struct Both final : Deviation {
+      ConspiracySenderDev sender;
+      ConspiracyColluderDev colluder;
+      bool override_send(QuadNode& self, RoundApi<Msg>& api) override {
+        return sender.override_send(self, api);
+      }
+      bool suppress_engine_sends(Round r, std::uint32_t offset) override {
+        return colluder.suppress_engine_sends(r, offset);
+      }
+      void extra(QuadNode& self, Round r, std::uint32_t offset,
+                 RoundApi<Msg>& api) override {
+        colluder.extra(self, r, offset, api);
+      }
+    };
+    return std::make_unique<Both>();
   }
-
-  std::unique_ptr<Actor<Msg>> actor_for(NodeId node) override {
-    return std::make_unique<QuadNode>(node, ctx_, make_dev(node));
-  }
-
- private:
-  std::unique_ptr<Deviation> make_dev(NodeId node) const {
-    (void)node;
-    if (role_ == "silent") return std::make_unique<SilentDev>();
-    if (role_ == "equivocate") return std::make_unique<EquivocateDev>();
-    if (role_ == "lateprop") return std::make_unique<LatePropDev>();
-    if (role_ == "floodaccuse") return std::make_unique<FloodAccuseDev>();
-    if (role_ == "framer") return std::make_unique<FramerDev>();
-    if (role_ == "conspiracy") {
-      // Every corrupt node acts as a colluder; when it happens to be the
-      // slot sender, the sender deviation applies.
-      struct Both final : Deviation {
-        ConspiracySenderDev sender;
-        ConspiracyColluderDev colluder;
-        bool override_send(QuadNode& self, RoundApi<Msg>& api) override {
-          return sender.override_send(self, api);
-        }
-        bool suppress_engine_sends(Round r, std::uint32_t offset) override {
-          return colluder.suppress_engine_sends(r, offset);
-        }
-        void extra(QuadNode& self, Round r, std::uint32_t offset,
-                   RoundApi<Msg>& api) override {
-          colluder.extra(self, r, offset, api);
-        }
-      };
-      return std::make_unique<Both>();
-    }
-    AMBB_CHECK_MSG(false, "unknown quad role " << role_);
-  }
-
-  const Context* ctx_;
-  std::uint64_t seed_;
-  std::string role_;
-};
+  AMBB_CHECK_MSG(false, "unknown quad role " << role);
+}
 
 }  // namespace
 
 std::unique_ptr<Adversary<Msg>> make_quad_adversary(const std::string& spec,
                                                     const Context* ctx,
-                                                    std::uint64_t seed) {
+                                                    std::uint64_t seed,
+                                                    Round horizon) {
   if (spec == "none") return nullptr;
+  if (adversary::is_schedule_spec(spec)) {
+    adversary::ScheduleEnv<Msg> env;
+    env.n = ctx->n;
+    env.f = ctx->f;
+    env.seed = seed;
+    env.horizon = horizon;
+    // The corrupted-seat replica runs honest logic but carries a no-op
+    // Deviation marker: honest-only invariant CHECKs (TrustCast's
+    // vote-or-value guarantee) must not fire for a Byzantine node
+    // replaying honest logic from mid-run fresh state.
+    env.honest_factory = [ctx](NodeId node) {
+      return std::make_unique<QuadNode>(node, ctx,
+                                        std::make_unique<Deviation>());
+    };
+    return adversary::make_scheduled_adversary<Msg>(spec, env);
+  }
   if (spec == "silent" || spec == "equivocate" || spec == "conspiracy" ||
       spec == "lateprop" || spec == "floodaccuse" || spec == "framer") {
-    return std::make_unique<StaticQuadAdversary>(ctx, seed, spec);
+    // Static strategy = corrupt-first-f schedule + Deviation actors via
+    // the byzantine-factory override.
+    adversary::FaultSchedule s;
+    for (NodeId v = 0; v < ctx->f; ++v) {
+      s.corruptions.push_back(adversary::CorruptEvent{0, v});
+    }
+    return std::make_unique<adversary::ScheduledAdversary<Msg>>(
+        std::move(s), ctx->n, seed, nullptr, [ctx, spec](NodeId node) {
+          return std::make_unique<QuadNode>(node, ctx,
+                                            make_quad_deviation(spec));
+        });
   }
   AMBB_CHECK_MSG(false, "unknown quad adversary spec '" << spec << "'");
 }

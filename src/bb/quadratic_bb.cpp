@@ -182,12 +182,12 @@ RunResult run_quadratic(const QuadConfig& cfg) {
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<QuadNode>(v, &ctx));
   }
-  auto adversary =
-      make_quad_adversary(cfg.adversary, &ctx, cfg.seed ^ 0xAD7E25A1ULL);
-  if (adversary != nullptr) sim.bind_adversary(adversary.get());
-
   const std::uint64_t total_rounds =
       static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
+  auto adversary = make_quad_adversary(cfg.adversary, &ctx,
+                                       cfg.seed ^ 0xAD7E25A1ULL, total_rounds);
+  if (adversary != nullptr) sim.bind_adversary(adversary.get());
+
   for (std::uint64_t i = 0; i < total_rounds; ++i) {
     sim.step();
     if (cfg.on_round_end) cfg.on_round_end(sim.now() - 1, sim);

@@ -128,9 +128,12 @@ RunResult run_quadratic(const QuadConfig& cfg);
 /// (sender serves only its corrupt colluders, who forward at the last
 /// moment), "lateprop" (sender stays silent for a few rounds, then
 /// multicasts), "floodaccuse" (corrupt nodes accuse everyone, stressing
-/// the O(kappa n^4) graph-maintenance bound).
+/// the O(kappa n^4) graph-maintenance bound), plus the generic
+/// "sched:..." / "fuzz[:k]" fault schedules of src/adversary/.
+/// `horizon` is the total round count of the run (fuzz event placement).
 std::unique_ptr<Adversary<Msg>> make_quad_adversary(const std::string& spec,
                                                     const Context* ctx,
-                                                    std::uint64_t seed);
+                                                    std::uint64_t seed,
+                                                    Round horizon);
 
 }  // namespace ambb::quad

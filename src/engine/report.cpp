@@ -1,5 +1,6 @@
 #include "engine/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 
 namespace ambb::engine {
@@ -23,6 +24,13 @@ std::string fixed3(double v) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.3f", v);
   return buf;
+}
+
+/// JSON has no NaN/inf literal; "%.3f" would print "nan" and corrupt the
+/// document. Non-finite metrics (e.g. the amortized cost of a zero-slot
+/// run) become a structured null instead.
+std::string json_number(double v) {
+  return std::isfinite(v) ? fixed3(v) : "null";
 }
 
 }  // namespace
@@ -74,7 +82,7 @@ std::string render_bench_json(const std::string& bench_name,
     json += ", \"rounds\": " + std::to_string(r.rounds);
     json += ", \"honest_bits\": " + std::to_string(r.honest_bits);
     json += ", \"adversary_bits\": " + std::to_string(r.adversary_bits);
-    json += ", \"amortized_bits_per_slot\": " + fixed3(r.amortized);
+    json += ", \"amortized_bits_per_slot\": " + json_number(r.amortized);
     json += ", \"wall_ms\": " + fixed3(r.wall_ms);
     json += ", \"records\": " + std::to_string(r.stats.records);
     json += ", \"deliveries\": " + std::to_string(r.stats.deliveries);

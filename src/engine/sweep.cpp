@@ -1,6 +1,7 @@
 #include "engine/sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -13,8 +14,20 @@ std::vector<std::uint32_t> fs_for(const SweepSpec& spec,
                                   const ProtocolInfo& info,
                                   std::uint32_t n) {
   if (spec.f_max) return {info.max_f(n)};
+  if (spec.f_frac_den != 0) {
+    // Exact integer arithmetic: floor(num * n / den). num and den are
+    // parser-capped (den <= 1e9), so num * n fits in 64 bits for any
+    // 32-bit n.
+    return {static_cast<std::uint32_t>(spec.f_frac_num * n /
+                                       spec.f_frac_den)};
+  }
   if (spec.f_frac >= 0.0) {
-    return {static_cast<std::uint32_t>(spec.f_frac * n)};
+    // Double fallback: snap the fraction to the nearest 1e-9, then apply
+    // the same exact floor. static_cast<uint32_t>(f_frac * n) truncated
+    // float noise (0.3 * 10 = 2.999... -> 2); this yields 3.
+    const auto num = static_cast<std::uint64_t>(
+        std::llround(spec.f_frac * 1e9));
+    return {static_cast<std::uint32_t>(num * n / 1000000000ULL)};
   }
   if (!spec.fs.empty()) return spec.fs;
   // No fault-load key at all: a third of the nodes, the conventional
@@ -40,8 +53,7 @@ std::vector<SweepJob> expand(const SweepSpec& spec) {
   AMBB_CHECK_MSG(spec.repetitions >= 1,
                  "sweep '" << spec.name << "': reps must be >= 1");
   for (const auto& adv : spec.adversaries) {
-    AMBB_CHECK_MSG(std::find(info.adversaries.begin(), info.adversaries.end(),
-                             adv) != info.adversaries.end(),
+    AMBB_CHECK_MSG(accepts_adversary(info, adv),
                    "sweep '" << spec.name << "': protocol '" << spec.protocol
                              << "' does not accept adversary '" << adv << "'");
   }
@@ -58,10 +70,7 @@ std::vector<SweepJob> expand(const SweepSpec& spec) {
                                       << " >= n=" << n);
       for (Slot L : slots) {
         for (const auto& adv : spec.adversaries) {
-          const bool stall_ok =
-              std::find(info.known_liveness_failures.begin(),
-                        info.known_liveness_failures.end(),
-                        adv) != info.known_liveness_failures.end();
+          const bool stall_ok = may_stall(info, adv);
           for (std::uint64_t seed = spec.seed_begin; seed <= spec.seed_end;
                ++seed) {
             for (std::uint32_t rep = 0; rep < spec.repetitions; ++rep) {
@@ -156,6 +165,53 @@ T parse_num(const std::string& tok, int lineno) {
   return v;
 }
 
+/// "f-frac" accepts a rational "p/q" or a decimal literal ("0.3" = 3/10),
+/// both parsed into an exact numerator/denominator. At most 9 fractional
+/// digits so num * n cannot overflow 64 bits.
+void parse_f_frac(const std::string& tok, int lineno, SweepSpec* cur) {
+  cur->f_frac = -1.0;
+  const auto slash = tok.find('/');
+  if (slash != std::string::npos) {
+    cur->f_frac_num =
+        parse_num<std::uint64_t>(tok.substr(0, slash), lineno);
+    cur->f_frac_den = parse_num<std::uint64_t>(tok.substr(slash + 1), lineno);
+    AMBB_CHECK_MSG(cur->f_frac_den != 0,
+                   "spec line " << lineno << ": zero denominator in '" << tok
+                                << "'");
+    AMBB_CHECK_MSG(cur->f_frac_den <= 1000000000ULL &&
+                       cur->f_frac_num <= cur->f_frac_den,
+                   "spec line " << lineno << ": f-frac '" << tok
+                                << "' must be a fraction <= 1 with "
+                                   "denominator <= 1e9");
+    return;
+  }
+  std::uint64_t num = 0;
+  std::uint64_t den = 1;
+  bool seen_dot = false;
+  bool seen_digit = false;
+  for (char c : tok) {
+    if (c == '.') {
+      AMBB_CHECK_MSG(!seen_dot, "spec line " << lineno << ": bad f-frac '"
+                                             << tok << "'");
+      seen_dot = true;
+      continue;
+    }
+    AMBB_CHECK_MSG(c >= '0' && c <= '9',
+                   "spec line " << lineno << ": bad f-frac '" << tok << "'");
+    seen_digit = true;
+    num = num * 10 + static_cast<std::uint64_t>(c - '0');
+    if (seen_dot) den *= 10;
+    AMBB_CHECK_MSG(den <= 1000000000ULL,
+                   "spec line " << lineno << ": f-frac '" << tok
+                                << "' has more than 9 fractional digits");
+  }
+  AMBB_CHECK_MSG(seen_digit && num <= den,
+                 "spec line " << lineno << ": f-frac '" << tok
+                              << "' must be a fraction in [0, 1]");
+  cur->f_frac_num = num;
+  cur->f_frac_den = den;
+}
+
 }  // namespace
 
 std::vector<SweepSpec> parse_spec(const std::string& text) {
@@ -203,7 +259,7 @@ std::vector<SweepSpec> parse_spec(const std::string& text) {
         }
       }
     } else if (key == "f-frac") {
-      cur->f_frac = parse_num<double>(toks[1], lineno);
+      parse_f_frac(toks[1], lineno, cur);
     } else if (key == "slots") {
       cur->slots_list.clear();
       for (std::size_t i = 1; i < toks.size(); ++i) {

@@ -46,7 +46,17 @@ struct SweepSpec {
   std::vector<std::uint32_t> ns = {16};
   /// Fault-load selection, exactly one of:
   std::vector<std::uint32_t> fs;  ///< explicit values (cross product with n)
-  double f_frac = -1.0;           ///< f = floor(f_frac * n) when >= 0
+  /// Exact fraction: f = floor(f_frac_num * n / f_frac_den) when den != 0.
+  /// The spec-file "f-frac" key parses "p/q" and decimal literals ("0.3"
+  /// = 3/10) into this form, so f never suffers binary floating-point
+  /// truncation (0.3 * 10 < 3.0 in double, so the old cast gave f=2).
+  std::uint64_t f_frac_num = 0;
+  std::uint64_t f_frac_den = 0;
+  /// Programmatic double fallback: f = floor(round(f_frac * 1e9) * n /
+  /// 1e9) when >= 0, i.e. the fraction is snapped to the nearest 1e-9
+  /// before the exact floor — same rule, for callers that only have a
+  /// double in hand.
+  double f_frac = -1.0;
   bool f_max = false;             ///< f = registry max_f(n)
 
   std::vector<Slot> slots_list;   ///< explicit slot counts

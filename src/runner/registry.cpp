@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "adversary/spec.hpp"
 #include "bb/dolev_strong.hpp"
 #include "bb/hotstuff_demo.hpp"
 #include "bb/linear_bb.hpp"
@@ -84,6 +85,7 @@ std::vector<ProtocolInfo> build() {
       // leader's partial commit permanently starves the rest (no quorum
       // remains in later epochs).
       {"selective", "mixed", "drop", "chaos"}});
+  out.back().sched_may_stall = true;  // same starvation under schedules
 
   out.push_back(ProtocolInfo{
       "quadratic",
@@ -177,6 +179,7 @@ std::vector<ProtocolInfo> build() {
         return run_hotstuff_demo(cfg);
       },
       {"selective"}});
+  out.back().sched_may_stall = true;  // no fallback: silenced leader stalls
 
   return out;
 }
@@ -198,6 +201,19 @@ const ProtocolInfo& protocol(const std::string& name) {
   // end of a non-void return path (-Wreturn-type / UB if the macro ever
   // changed).
   std::abort();
+}
+
+bool accepts_adversary(const ProtocolInfo& info, const std::string& spec) {
+  if (adversary::is_schedule_spec(spec)) return true;
+  return std::find(info.adversaries.begin(), info.adversaries.end(), spec) !=
+         info.adversaries.end();
+}
+
+bool may_stall(const ProtocolInfo& info, const std::string& spec) {
+  if (adversary::is_schedule_spec(spec)) return info.sched_may_stall;
+  return std::find(info.known_liveness_failures.begin(),
+                   info.known_liveness_failures.end(),
+                   spec) != info.known_liveness_failures.end();
 }
 
 }  // namespace ambb

@@ -36,9 +36,24 @@ struct ProtocolInfo {
   /// (the Appendix A HotStuff demo, and the no-query-path ablation of
   /// Algorithm 4). Consistency and validity must still hold.
   std::vector<std::string> known_liveness_failures;
+  /// True if the protocol may miss commits under ARBITRARY "sched:..." /
+  /// "fuzz" fault schedules (no fallback path: a silenced or selective
+  /// node it depends on permanently starves progress). Consistency and
+  /// validity must still hold under any budget-respecting schedule.
+  bool sched_may_stall = false;
 };
 
 const std::vector<ProtocolInfo>& protocols();
 const ProtocolInfo& protocol(const std::string& name);
+
+/// True if `spec` is runnable against this protocol: either one of the
+/// protocol's named adversaries, or a generic fault-schedule spec
+/// ("sched:..." / "fuzz[:k]"), which every registry protocol accepts.
+bool accepts_adversary(const ProtocolInfo& info, const std::string& spec);
+
+/// True if a run of this protocol under `spec` is allowed to stall
+/// (known_liveness_failures for named specs, sched_may_stall for
+/// schedule specs).
+bool may_stall(const ProtocolInfo& info, const std::string& spec);
 
 }  // namespace ambb

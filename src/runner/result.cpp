@@ -1,5 +1,6 @@
 #include "runner/result.hpp"
 
+#include <limits>
 #include <sstream>
 
 #include "common/check.hpp"
@@ -8,7 +9,10 @@ namespace ambb {
 
 double RunResult::amortized(Slot upto) const {
   if (upto == 0) upto = slots;
-  AMBB_CHECK(upto >= 1 && upto <= slots);
+  // A zero-slot run (possible for dynamically sized sweep/fuzz configs)
+  // has no amortized cost; NaN here, rendered as JSON null downstream.
+  if (upto == 0) return std::numeric_limits<double>::quiet_NaN();
+  AMBB_CHECK(upto <= slots);
   std::uint64_t total = 0;
   for (Slot k = 1; k <= upto && k < per_slot_bits.size(); ++k) {
     total += per_slot_bits[k];

@@ -38,6 +38,7 @@ struct RunResult {
   RoundStatsSummary stats_summary() const { return summarize(round_stats); }
 
   /// Average honest bits per slot over the first `upto` slots (all if 0).
+  /// Quiet NaN for a zero-slot run (see CostLedger::amortized).
   double amortized(Slot upto = 0) const;
 
   /// Honest bits per slot over slots (from, to] — used to measure the

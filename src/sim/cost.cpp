@@ -1,5 +1,7 @@
 #include "sim/cost.hpp"
 
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace ambb {
@@ -44,7 +46,9 @@ std::uint64_t CostLedger::honest_bits_slot(Slot slot) const {
 }
 
 double CostLedger::amortized(Slot num_slots) const {
-  AMBB_CHECK(num_slots >= 1);
+  // Amortizing over zero slots has no value, not a crash: callers that
+  // size runs dynamically (sweep specs, fuzz drivers) may produce L = 0.
+  if (num_slots == 0) return std::numeric_limits<double>::quiet_NaN();
   std::uint64_t total = 0;
   for (Slot k = 1; k <= num_slots; ++k) total += honest_bits_slot(k);
   return static_cast<double>(total) / num_slots;

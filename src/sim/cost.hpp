@@ -43,7 +43,9 @@ class CostLedger {
   const std::vector<std::uint64_t>& per_kind() const { return per_kind_; }
   const std::vector<std::string>& kind_names() const { return kind_names_; }
 
-  /// Amortized honest bits per slot over the first L slots.
+  /// Amortized honest bits per slot over the first L slots. L = 0 yields
+  /// quiet NaN ("no slots to amortize over"); JSON writers must render
+  /// non-finite values as null (engine/report.cpp does).
   double amortized(Slot num_slots) const;
 
  private:

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.hpp"
 
 namespace ambb {
@@ -36,6 +38,17 @@ TEST(CostLedger, AmortizedAveragesOverSlots) {
   EXPECT_DOUBLE_EQ(l.amortized(2), 200.0);
   EXPECT_DOUBLE_EQ(l.amortized(1), 300.0);
   EXPECT_DOUBLE_EQ(l.amortized(4), 100.0);  // empty slots count
+}
+
+TEST(CostLedger, ZeroSlotAmortizedIsQuietNaNNotACrash) {
+  // num_slots == 0 used to divide by zero; the contract is now a quiet
+  // NaN (report.cpp renders it as JSON null). Both the empty and the
+  // charged ledger take the guard path.
+  CostLedger l({"a"});
+  EXPECT_TRUE(std::isnan(l.amortized(0)));
+  l.charge(1, 0, 300, true);
+  EXPECT_TRUE(std::isnan(l.amortized(0)));
+  EXPECT_DOUBLE_EQ(l.amortized(1), 300.0);
 }
 
 TEST(CostLedger, UnknownKindThrows) {

@@ -6,12 +6,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "common/check.hpp"
 #include "engine/engine.hpp"
+#include "engine/report.hpp"
 #include "engine/sweep.hpp"
 #include "runner/registry.hpp"
 
@@ -245,6 +248,39 @@ TEST(Engine, AllowStallSkipsTerminationButNotSafetyChecks) {
   ASSERT_TRUE(lenient[0].completed);
   EXPECT_TRUE(lenient[0].violations.empty());
   EXPECT_FALSE(lenient[0].failed());
+}
+
+TEST(BenchJson, ZeroSlotAmortizedIsNaNEndToEnd) {
+  // A zero-slot RunResult has no well-defined per-slot average; the
+  // whole chain (RunResult -> to_record) must carry a quiet NaN instead
+  // of dividing by zero.
+  RunResult r;
+  EXPECT_TRUE(std::isnan(r.amortized()));
+
+  JobOutcome out;
+  out.label = "zero-slot";
+  out.completed = true;
+  out.result = RunResult{};
+  EXPECT_TRUE(std::isnan(to_record(out).amortized));
+}
+
+TEST(BenchJson, NonFiniteAmortizedRendersAsStructuredNull) {
+  // JSON has no NaN literal; a "%.3f"-printed NaN would corrupt the
+  // document for every consumer. Non-finite metrics become null.
+  RunRecord rec;
+  rec.label = "zero-slot";
+  rec.amortized = std::numeric_limits<double>::quiet_NaN();
+  const std::string json = render_bench_json("t", {rec}, 0, 1, 0.0);
+  EXPECT_NE(json.find("\"amortized_bits_per_slot\": null"),
+            std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+
+  // Finite values keep the fixed-point rendering.
+  rec.amortized = 1.5;
+  EXPECT_NE(render_bench_json("t", {rec}, 0, 1, 0.0)
+                .find("\"amortized_bits_per_slot\": 1.500"),
+            std::string::npos);
 }
 
 }  // namespace

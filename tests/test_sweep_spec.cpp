@@ -71,10 +71,89 @@ TEST(SweepExpand, FFracFloorsPerNMatchingBenchArithmetic) {
   const auto jobs = expand(spec);
   ASSERT_EQ(jobs.size(), 3u);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    // Exactly the cast the benches use: static_cast<uint32_t>(0.3 * n).
+    // Same f the benches compute at these n (7, 9, 14): the exact-floor
+    // rewrite must not move any existing golden.
     EXPECT_EQ(jobs[i].params.f,
               static_cast<std::uint32_t>(0.3 * spec.ns[i]));
   }
+}
+
+TEST(SweepExpand, FFracIsExactWhereFloatTruncationLostAUnit) {
+  // Regression: 0.3 * 10 is 2.999... in binary; the old
+  // static_cast<uint32_t>(f_frac * n) truncated it to f=2. floor(3*10/10)
+  // is exactly 3 — via the rational path AND the double fallback (which
+  // snaps to the nearest 1e-9 before flooring).
+  const std::vector<std::uint32_t> ns = {10, 20, 24, 32, 48, 64};
+  const std::vector<std::uint32_t> want = {3, 6, 7, 9, 14, 19};
+
+  SweepSpec rational;
+  rational.protocol = "linear";
+  rational.ns = ns;
+  rational.f_frac_num = 3;
+  rational.f_frac_den = 10;
+
+  SweepSpec fallback;
+  fallback.protocol = "linear";
+  fallback.ns = ns;
+  fallback.f_frac = 0.3;
+
+  const auto jr = expand(rational);
+  const auto jf = expand(fallback);
+  ASSERT_EQ(jr.size(), ns.size());
+  ASSERT_EQ(jf.size(), ns.size());
+  for (std::size_t i = 0; i < ns.size(); ++i) {
+    EXPECT_EQ(jr[i].params.f, want[i]) << "rational, n=" << ns[i];
+    EXPECT_EQ(jf[i].params.f, want[i]) << "fallback, n=" << ns[i];
+  }
+}
+
+TEST(SpecParser, FFracAcceptsRationalsAndRejectsJunk) {
+  auto f_of = [](const std::string& frac, std::uint32_t n) {
+    const auto specs = parse_spec("sweep x\nprotocol dolev-strong\nn " +
+                                  std::to_string(n) + "\nf-frac " + frac +
+                                  "\n");
+    const auto jobs = expand_all(specs);
+    AMBB_CHECK(jobs.size() == 1);
+    return jobs[0].params.f;
+  };
+  EXPECT_EQ(f_of("1/3", 12), 4u);
+  EXPECT_EQ(f_of("1/3", 10), 3u);   // floor(10/3)
+  EXPECT_EQ(f_of("1/2", 7), 3u);
+  EXPECT_EQ(f_of("0.3", 10), 3u);   // the regression case
+  EXPECT_EQ(f_of("0.25", 10), 2u);  // floor still floors
+  EXPECT_EQ(f_of("333333333/1000000000", 30), 9u);  // 9-digit den is legal
+
+  for (const char* bad :
+       {"3/0", "4/3", "1.5", "0.0000000001", "1//2", "x", "0..3"}) {
+    EXPECT_THROW(parse_spec(std::string("sweep x\nprotocol linear\nn 10\n"
+                                        "f-frac ") +
+                            bad + "\n"),
+                 CheckError)
+        << bad;
+  }
+}
+
+TEST(SweepExpand, ScheduleSpecsExpandForEveryProtocol) {
+  // "sched:..." / "fuzz" tokenize as one word in spec files and are
+  // accepted by every registry protocol; allow_stall follows the
+  // registry's sched_may_stall flag instead of known_liveness_failures.
+  for (const char* proto : {"linear", "hotstuff"}) {
+    SweepSpec spec;
+    spec.protocol = proto;
+    spec.ns = {8};
+    spec.fs = {2};
+    spec.adversaries = {"sched:corrupt(0,0);silence(0,0,*)", "fuzz"};
+    const auto jobs = expand(spec);
+    ASSERT_EQ(jobs.size(), 2u) << proto;
+    const bool stalls = protocol(proto).sched_may_stall;
+    EXPECT_EQ(jobs[0].allow_stall, stalls) << proto;
+    EXPECT_EQ(jobs[1].allow_stall, stalls) << proto;
+  }
+  // An adversary that is neither named nor a schedule still errors.
+  SweepSpec bad;
+  bad.protocol = "linear";
+  bad.adversaries = {"sched-typo"};
+  EXPECT_THROW(expand(bad), CheckError);
 }
 
 TEST(SweepExpand, FMaxUsesTheRegistryBound) {
@@ -216,7 +295,11 @@ slots 4 6
   EXPECT_EQ(s0.name, "alg4");
   EXPECT_EQ(s0.protocol, "linear");
   EXPECT_EQ(s0.ns, (std::vector<std::uint32_t>{24, 32}));
-  EXPECT_DOUBLE_EQ(s0.f_frac, 0.3);
+  // "f-frac 0.3" parses into the EXACT rational 3/10 (the double member
+  // stays unset: it is only the programmatic fallback).
+  EXPECT_EQ(s0.f_frac_num, 3u);
+  EXPECT_EQ(s0.f_frac_den, 10u);
+  EXPECT_LT(s0.f_frac, 0.0);
   EXPECT_EQ(s0.slots_per_n, 3u);
   EXPECT_EQ(s0.adversaries, (std::vector<std::string>{"mixed", "none"}));
   EXPECT_EQ(s0.seed_begin, 7u);

@@ -1,0 +1,253 @@
+// ambb_fuzz — randomized fault-schedule campaigns over the protocol
+// registry, with the Definition 2 properties as oracles.
+//
+//   ambb_fuzz [--schedules K] [--protocol NAME] [--n N] [--slots L]
+//             [--seed S] [--jobs N] [--out NAME] [--list]
+//
+//   --schedules K    schedules per protocol (default 30)
+//   --protocol NAME  fuzz only this registry protocol (default: all)
+//   --n N            node count (default 12)
+//   --slots L        slots per run (default 2)
+//   --seed S         base seed; schedule i of a protocol runs with seed
+//                    S + i (default 1)
+//   --jobs N         worker threads; 0 = one per hardware thread. The
+//                    engine's determinism contract makes the table and
+//                    the json byte-identical for any value.
+//   --out NAME       write BENCH_<NAME>.json (default: fuzz)
+//   --list           print the job labels and exit
+//
+// Every job runs the protocol under a "fuzz" adversary: a seeded random
+// budget-respecting fault schedule (src/adversary/fuzz.hpp) of
+// corruptions, after-the-fact erasures and actor-level faults. Because
+// generated schedules stay inside the threat model (at most f distinct
+// corruptions, erasures only of corrupt-by-then senders), any
+// consistency/validity/termination violation is a finding about the
+// protocol or the simulator — never noise. Protocols whose registry
+// entry sets sched_may_stall (no fallback path) skip only the
+// termination oracle.
+//
+// The corruption budget f cycles over 1..max_f(n) across a protocol's
+// schedules, so one campaign exercises light and maximal fault loads.
+//
+// AMBB_BENCH_INJECT_VIOLATION=1 injects a synthetic violation into every
+// run (proves the non-zero-exit plumbing, same contract as the bench
+// harnesses).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "engine/engine.hpp"
+#include "engine/report.hpp"
+#include "runner/registry.hpp"
+#include "runner/table.hpp"
+
+namespace {
+
+struct Cli {
+  std::uint32_t schedules = 30;
+  std::string protocol;  // empty = all
+  std::uint32_t n = 12;
+  ambb::Slot slots = 2;
+  std::uint64_t seed = 1;
+  unsigned jobs = 0;
+  std::string out = "fuzz";
+  bool list = false;
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ambb_fuzz [--schedules K] [--protocol NAME] [--n N] "
+               "[--slots L] [--seed S] [--jobs N] [--out NAME] [--list]\n");
+}
+
+bool parse_cli(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ambb_fuzz: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--schedules") {
+      if ((v = value()) == nullptr) return false;
+      cli.schedules = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--protocol") {
+      if ((v = value()) == nullptr) return false;
+      cli.protocol = v;
+    } else if (arg == "--n") {
+      if ((v = value()) == nullptr) return false;
+      cli.n = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--slots") {
+      if ((v = value()) == nullptr) return false;
+      cli.slots = static_cast<ambb::Slot>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--seed") {
+      if ((v = value()) == nullptr) return false;
+      cli.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--jobs") {
+      if ((v = value()) == nullptr) return false;
+      cli.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--out") {
+      if ((v = value()) == nullptr) return false;
+      cli.out = v;
+    } else if (arg == "--list") {
+      cli.list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "ambb_fuzz: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (cli.schedules == 0 || cli.n < 4 || cli.slots == 0) {
+    std::fprintf(stderr,
+                 "ambb_fuzz: need --schedules >= 1, --n >= 4, --slots >= 1\n");
+    return false;
+  }
+  return true;
+}
+
+struct FuzzJob {
+  std::string label;
+  const ambb::ProtocolInfo* info;
+  ambb::CommonParams params;
+};
+
+std::vector<FuzzJob> expand(const Cli& cli) {
+  using namespace ambb;
+  std::vector<FuzzJob> out;
+  for (const auto& info : protocols()) {
+    if (!cli.protocol.empty() && info.name != cli.protocol) continue;
+    const std::uint32_t fmax =
+        std::max<std::uint32_t>(1, std::min(info.max_f(cli.n), cli.n - 1));
+    for (std::uint32_t i = 0; i < cli.schedules; ++i) {
+      FuzzJob fj;
+      fj.info = &info;
+      fj.params.n = cli.n;
+      fj.params.f = 1 + i % fmax;  // cycle light..maximal budgets
+      fj.params.slots = cli.slots;
+      fj.params.seed = cli.seed + i;
+      fj.params.adversary = "fuzz";
+      fj.label = "fuzz/" + info.name + "/f" +
+                 std::to_string(fj.params.f) + "/s" +
+                 std::to_string(fj.params.seed);
+      out.push_back(std::move(fj));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ambb;
+
+  Cli cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage(stderr);
+    return 2;
+  }
+
+  std::vector<FuzzJob> fuzz_jobs;
+  try {
+    fuzz_jobs = expand(cli);
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "ambb_fuzz: %s\n", e.what());
+    return 2;
+  }
+  if (fuzz_jobs.empty()) {
+    std::fprintf(stderr, "ambb_fuzz: no jobs (unknown protocol '%s'?)\n",
+                 cli.protocol.c_str());
+    return 2;
+  }
+
+  if (cli.list) {
+    for (const auto& fj : fuzz_jobs) std::printf("%s\n", fj.label.c_str());
+    std::printf("%zu jobs\n", fuzz_jobs.size());
+    return 0;
+  }
+
+  std::vector<engine::Job> jobs;
+  jobs.reserve(fuzz_jobs.size());
+  for (const auto& fj : fuzz_jobs) {
+    jobs.push_back(engine::Job{
+        fj.label, [info = fj.info, p = fj.params] { return info->run(p); },
+        may_stall(*fj.info, fj.params.adversary)});
+  }
+
+  const engine::Engine eng(cli.jobs);
+  std::printf("ambb_fuzz: %zu schedules on %u worker thread%s\n", jobs.size(),
+              eng.jobs(), eng.jobs() == 1 ? "" : "s");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::vector<engine::JobOutcome> outcomes = eng.run(jobs);
+  const double wall_ms_total = std::chrono::duration<double, std::milli>(
+                                   std::chrono::steady_clock::now() - t0)
+                                   .count();
+
+  const bool inject =
+      std::getenv("AMBB_BENCH_INJECT_VIOLATION") != nullptr;
+  std::vector<engine::RunRecord> records;
+  records.reserve(outcomes.size());
+  std::size_t violations = 0;
+  std::size_t failed_jobs = 0;
+  TextTable t({"run", "rounds", "honest bits", "adv bits", "erasures",
+               "corrupt", "status"});
+  for (const auto& out : outcomes) {
+    engine::RunRecord rec = engine::to_record(out);
+    if (inject) rec.violations += 1;  // prove the exit plumbing
+    std::string status = "ok";
+    if (!out.completed) {
+      status = "FAILED";
+      ++failed_jobs;
+    } else if (rec.violations != 0) {
+      status = "VIOLATION";
+    }
+    t.add_row({rec.label, std::to_string(rec.rounds),
+               TextTable::bits_human(static_cast<double>(rec.honest_bits)),
+               TextTable::bits_human(static_cast<double>(rec.adversary_bits)),
+               std::to_string(rec.stats.erasures),
+               std::to_string(rec.stats.corruptions), status});
+    violations += rec.violations;
+    records.push_back(std::move(rec));
+  }
+  std::printf("%s", t.render().c_str());
+
+  for (const auto& out : outcomes) {
+    if (!out.completed) {
+      std::printf("!! %s did not complete: %s\n", out.label.c_str(),
+                  out.error.c_str());
+    } else if (!out.violations.empty()) {
+      std::printf("!! %s: %zu property violations (first: %s)\n",
+                  out.label.c_str(), out.violations.size(),
+                  out.violations[0].c_str());
+    }
+  }
+
+  const std::string path = "BENCH_" + cli.out + ".json";
+  if (engine::write_bench_json(path, cli.out, records, violations, eng.jobs(),
+                               wall_ms_total)) {
+    std::printf("wrote %s (%zu runs, %u threads, %.1f ms total)\n",
+                path.c_str(), records.size(), eng.jobs(), wall_ms_total);
+  } else {
+    std::fprintf(stderr, "ambb_fuzz: could not write %s\n", path.c_str());
+    return 2;
+  }
+
+  if (violations != 0 || failed_jobs != 0) {
+    std::printf("!! %zu violations, %zu failed jobs — failing the fuzz run\n",
+                violations, failed_jobs);
+    return 1;
+  }
+  std::printf("no property violations across %zu randomized schedules\n",
+              records.size());
+  return 0;
+}
