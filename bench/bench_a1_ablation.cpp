@@ -6,25 +6,17 @@
 // substitute, loses liveness against selective leaders.
 #include "bench_common.hpp"
 
-#include "bb/linear_bb.hpp"
-
 namespace ambb::bench {
 namespace {
 
-linear::LinearConfig variant_config(linear::Options opts, const char* adv,
-                                    Slot slots) {
-  linear::LinearConfig cfg;
-  cfg.n = 24;
-  cfg.f = 9;
-  cfg.slots = slots;
-  cfg.seed = 21;
-  cfg.adversary = adv;
-  cfg.opts = opts;
-  return cfg;
-}
-
-RunResult run_variant(linear::Options opts, const char* adv, Slot slots) {
-  return linear::run_linear(variant_config(opts, adv, slots));
+CommonParams variant_params(const char* adv, Slot slots) {
+  CommonParams p;
+  p.n = 24;
+  p.f = 9;
+  p.slots = slots;
+  p.seed = 21;
+  p.adversary = adv;
+  return p;
 }
 
 void run_table() {
@@ -36,12 +28,12 @@ void run_table() {
 
   struct Variant {
     const char* name;
-    linear::Options opts;
+    const char* proto;  ///< registry protocol implementing the variant
   } variants[] = {
-      {"paper (Alg.4)", linear::Options::paper()},
-      {"no cross-slot memory", linear::Options::no_memory()},
-      {"no query path", linear::Options::no_query()},
-      {"always-forward (MR-style)", linear::Options::mr_baseline()},
+      {"paper (Alg.4)", "linear"},
+      {"no cross-slot memory", "linear-nomem"},
+      {"no query path", "linear-noquery"},
+      {"always-forward (MR-style)", "mr-baseline"},
   };
 
   // Liveness is the quantity under test (the no-query variants are
@@ -52,10 +44,9 @@ void run_table() {
     for (const char* adv : {"silent", "selective", "mixed"}) {
       const std::string label = std::string(v.name) + "/" + adv;
       for (Slot slots : {Slot{24}, Slot{96}}) {
-        const linear::LinearConfig cfg = variant_config(v.opts, adv, slots);
-        jobs.push_back(Job{label + "/L" + std::to_string(slots),
-                           [cfg] { return linear::run_linear(cfg); },
-                           /*allow_stall=*/true});
+        jobs.push_back(registry_job(v.proto, variant_params(adv, slots),
+                                    label + "/L" + std::to_string(slots),
+                                    /*allow_stall=*/true));
       }
     }
   }
@@ -85,11 +76,10 @@ void run_table() {
 }
 
 void BM_Variant(::benchmark::State& state) {
-  static const linear::Options kOpts[] = {
-      linear::Options::paper(), linear::Options::no_memory(),
-      linear::Options::mr_baseline()};
+  static const char* kProtos[] = {"linear", "linear-nomem", "mr-baseline"};
   for (auto _ : state) {
-    auto r = run_variant(kOpts[state.range(0)], "mixed", 24);
+    auto r = registry_run(kProtos[state.range(0)],
+                          variant_params("mixed", 24));
     ::benchmark::DoNotOptimize(r.honest_bits);
     state.counters["amortized_bits"] = r.amortized();
   }

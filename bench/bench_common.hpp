@@ -116,13 +116,38 @@ RunResult timed_checked(const std::string& label, Fn&& run,
   return run_jobs({Job{label, std::forward<Fn>(run), allow_stall}})[0];
 }
 
-/// Engine job for a registry protocol at the given params; liveness
-/// failures the registry knows about skip the termination check.
-inline Job registry_job(const std::string& proto, const CommonParams& p) {
+/// Engine job for a registry protocol at the given params, with an
+/// explicit label and stall policy. Benches that predate the registry's
+/// auto-label format keep their historical labels (they are pinned by the
+/// BENCH_<name>.json goldens), and some deliberately tolerate stalls the
+/// registry would not predict (the quantity under test IS the stall).
+inline Job registry_job(const std::string& proto, const CommonParams& p,
+                        std::string label, bool allow_stall) {
   const ProtocolInfo& info = protocol(proto);
-  return Job{proto + "/" + p.adversary + "/n" + std::to_string(p.n),
-             [&info, p] { return info.run(p); },
-             may_stall(info, p.adversary)};
+  return Job{std::move(label), [&info, p] { return info.run(p); },
+             allow_stall};
+}
+
+/// Same, but the stall policy comes from the registry: liveness failures
+/// the registry knows about skip the termination check.
+inline Job registry_job(const std::string& proto, const CommonParams& p,
+                        std::string label) {
+  return registry_job(proto, p, std::move(label),
+                      may_stall(protocol(proto), p.adversary));
+}
+
+/// Same, with the auto-format label "<proto>/<adversary>/n<n>".
+inline Job registry_job(const std::string& proto, const CommonParams& p) {
+  return registry_job(proto, p,
+                      proto + "/" + p.adversary + "/n" + std::to_string(p.n));
+}
+
+/// Unchecked direct run for google-benchmark timing loops (no engine, no
+/// property checks — these loops measure wall clock only; the measured
+/// communication numbers all flow through run_jobs).
+inline RunResult registry_run(const std::string& proto,
+                              const CommonParams& p) {
+  return protocol(proto).run(p);
 }
 
 /// Run a protocol from the registry and sanity-check the run (so the

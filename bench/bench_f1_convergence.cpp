@@ -8,8 +8,6 @@
 // prefix averages C(L')/L' from the per-slot ledger.
 #include "bench_common.hpp"
 
-#include "bb/linear_bb.hpp"
-
 namespace ambb::bench {
 namespace {
 
@@ -27,15 +25,15 @@ void run_series() {
                                          "selective", "flood",  "mixed"};
   std::vector<Job> jobs;
   for (const char* adv : advs) {
-    linear::LinearConfig cfg;
-    cfg.n = n;
-    cfg.f = f;
-    cfg.slots = kMaxSlots;
-    cfg.seed = 7;
-    cfg.eps = 0.1;
-    cfg.adversary = adv;
-    jobs.push_back(Job{std::string("linear/") + adv + "/L192",
-                       [cfg] { return linear::run_linear(cfg); }});
+    CommonParams p;
+    p.n = n;
+    p.f = f;
+    p.slots = kMaxSlots;
+    p.seed = 7;
+    p.eps = 0.1;
+    p.adversary = adv;
+    jobs.push_back(
+        registry_job("linear", p, std::string("linear/") + adv + "/L192"));
   }
   const std::vector<RunResult> results = run_jobs(jobs);
 
@@ -61,14 +59,14 @@ void run_series() {
 }
 
 void BM_LinearRun(::benchmark::State& state) {
-  linear::LinearConfig cfg;
-  cfg.n = 32;
-  cfg.f = 12;
-  cfg.slots = static_cast<ambb::Slot>(state.range(0));
-  cfg.seed = 7;
-  cfg.adversary = "mixed";
+  CommonParams p;
+  p.n = 32;
+  p.f = 12;
+  p.slots = static_cast<ambb::Slot>(state.range(0));
+  p.seed = 7;
+  p.adversary = "mixed";
   for (auto _ : state) {
-    auto r = linear::run_linear(cfg);
+    auto r = registry_run("linear", p);
     ::benchmark::DoNotOptimize(r.honest_bits);
     state.counters["amortized_bits"] = r.amortized();
   }

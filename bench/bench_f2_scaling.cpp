@@ -8,11 +8,6 @@
 //   Dolev-Strong       ~ n^3      (worst case, plain signatures)
 #include "bench_common.hpp"
 
-#include "bb/dolev_strong.hpp"
-#include "bb/linear_bb.hpp"
-#include "bb/phase_king.hpp"
-#include "bb/quadratic_bb.hpp"
-
 namespace ambb::bench {
 namespace {
 
@@ -37,69 +32,68 @@ void run_scaling() {
 
   Series alg4{"Alg.4 (mixed adv, eps=0.2)", 0.7, 1.6, {}, {}};
   for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
-    linear::LinearConfig cfg;
-    cfg.n = n;
-    cfg.f = static_cast<std::uint32_t>(0.3 * n);
-    cfg.slots = 3 * n;
-    cfg.seed = 7;
-    cfg.eps = 0.2;  // constant expander degree across this sweep
-    cfg.adversary = "mixed";
-    jobs.push_back(Job{"alg4/mixed/n" + std::to_string(n),
-                       [cfg] { return linear::run_linear(cfg); }});
+    CommonParams p;
+    p.n = n;
+    p.f = static_cast<std::uint32_t>(0.3 * n);
+    p.slots = 3 * n;
+    p.seed = 7;
+    p.eps = 0.2;  // constant expander degree across this sweep
+    p.adversary = "mixed";
+    jobs.push_back(
+        registry_job("linear", p, "alg4/mixed/n" + std::to_string(n)));
     alg4.ns.push_back(n);
   }
 
   Series mr{"MR-style baseline (mixed adv)", 1.6, 2.5, {}, {}};
   for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
-    linear::LinearConfig cfg;
-    cfg.n = n;
-    cfg.f = static_cast<std::uint32_t>(0.3 * n);
-    cfg.slots = 8;
-    cfg.seed = 7;
-    cfg.eps = 0.2;
-    cfg.adversary = "mixed";
-    cfg.opts = linear::Options::mr_baseline();
-    jobs.push_back(Job{"mr-baseline/mixed/n" + std::to_string(n),
-                       [cfg] { return linear::run_linear(cfg); }});
+    CommonParams p;
+    p.n = n;
+    p.f = static_cast<std::uint32_t>(0.3 * n);
+    p.slots = 8;
+    p.seed = 7;
+    p.eps = 0.2;
+    p.adversary = "mixed";
+    jobs.push_back(registry_job("mr-baseline", p,
+                                "mr-baseline/mixed/n" + std::to_string(n)));
     mr.ns.push_back(n);
   }
 
   Series s_quad{"Alg.5.2 (silent adv, f=n/2)", 1.5, 2.6, {}, {}};
   for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
-    quad::QuadConfig cfg;
-    cfg.n = n;
-    cfg.f = n / 2;
-    cfg.slots = 3 * n;
-    cfg.seed = 7;
-    cfg.adversary = "silent";
-    jobs.push_back(Job{"alg5.2/silent/n" + std::to_string(n),
-                       [cfg] { return quad::run_quadratic(cfg); }});
+    CommonParams p;
+    p.n = n;
+    p.f = n / 2;
+    p.slots = 3 * n;
+    p.seed = 7;
+    p.adversary = "silent";
+    jobs.push_back(
+        registry_job("quadratic", p, "alg5.2/silent/n" + std::to_string(n)));
     s_quad.ns.push_back(n);
   }
 
   Series dsw{"Dolev-Strong plain (stagger, f=n/2)", 2.3, 3.4, {}, {}};
   for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
-    ds::DsConfig cfg;
-    cfg.n = n;
-    cfg.f = n / 2;
-    cfg.slots = 4;
-    cfg.seed = 7;
-    cfg.adversary = "stagger";
-    jobs.push_back(Job{"dolev-strong/stagger/n" + std::to_string(n),
-                       [cfg] { return ds::run_dolev_strong(cfg); }});
+    CommonParams p;
+    p.n = n;
+    p.f = n / 2;
+    p.slots = 4;
+    p.seed = 7;
+    p.adversary = "stagger";
+    jobs.push_back(registry_job(
+        "dolev-strong", p, "dolev-strong/stagger/n" + std::to_string(n)));
     dsw.ns.push_back(n);
   }
 
   Series s_pk{"phase-king (confuse, f<n/3)", 1.6, 3.2, {}, {}};
   for (std::uint32_t n : {10u, 13u, 19u, 25u}) {
-    pk::PkConfig cfg;
-    cfg.n = n;
-    cfg.f = (n - 1) / 3;
-    cfg.slots = 4;
-    cfg.seed = 7;
-    cfg.adversary = "confuse";
-    jobs.push_back(Job{"phase-king/confuse/n" + std::to_string(n),
-                       [cfg] { return pk::run_phase_king(cfg); }});
+    CommonParams p;
+    p.n = n;
+    p.f = (n - 1) / 3;
+    p.slots = 4;
+    p.seed = 7;
+    p.adversary = "confuse";
+    jobs.push_back(registry_job(
+        "phase-king", p, "phase-king/confuse/n" + std::to_string(n)));
     s_pk.ns.push_back(n);
   }
 
@@ -132,15 +126,15 @@ void run_scaling() {
 }
 
 void BM_ScalingLinear(::benchmark::State& state) {
-  linear::LinearConfig cfg;
-  cfg.n = static_cast<std::uint32_t>(state.range(0));
-  cfg.f = static_cast<std::uint32_t>(0.3 * cfg.n);
-  cfg.slots = 16;
-  cfg.eps = 0.2;
-  cfg.seed = 7;
-  cfg.adversary = "mixed";
+  CommonParams p;
+  p.n = static_cast<std::uint32_t>(state.range(0));
+  p.f = static_cast<std::uint32_t>(0.3 * p.n);
+  p.slots = 16;
+  p.eps = 0.2;
+  p.seed = 7;
+  p.adversary = "mixed";
   for (auto _ : state) {
-    auto r = linear::run_linear(cfg);
+    auto r = registry_run("linear", p);
     ::benchmark::DoNotOptimize(r.honest_bits);
   }
 }

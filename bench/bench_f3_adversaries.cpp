@@ -4,8 +4,6 @@
 // Respond-2 replies) is a bounded one-time cost.
 #include "bench_common.hpp"
 
-#include "bb/linear_bb.hpp"
-
 namespace ambb::bench {
 namespace {
 
@@ -24,14 +22,14 @@ void run_breakdown() {
                                          "adaptive-erase"};
   std::vector<Job> jobs;
   for (const char* adv : advs) {
-    linear::LinearConfig cfg;
-    cfg.n = n;
-    cfg.f = f;
-    cfg.slots = slots;
-    cfg.seed = 11;
-    cfg.adversary = adv;
-    jobs.push_back(Job{std::string("linear/") + adv + "/L72",
-                       [cfg] { return linear::run_linear(cfg); }});
+    CommonParams p;
+    p.n = n;
+    p.f = f;
+    p.slots = slots;
+    p.seed = 11;
+    p.adversary = adv;
+    jobs.push_back(
+        registry_job("linear", p, std::string("linear/") + adv + "/L72"));
   }
   const std::vector<RunResult> results = run_jobs(jobs);
 
@@ -73,18 +71,18 @@ void run_breakdown() {
 
 void BM_Adversary(::benchmark::State& state) {
   static const char* kAdvs[] = {"none", "silent", "selective", "mixed"};
-  linear::LinearConfig cfg;
-  cfg.n = 24;
-  cfg.f = 9;
-  cfg.slots = 24;
-  cfg.seed = 11;
-  cfg.adversary = kAdvs[state.range(0)];
+  CommonParams p;
+  p.n = 24;
+  p.f = 9;
+  p.slots = 24;
+  p.seed = 11;
+  p.adversary = kAdvs[state.range(0)];
   for (auto _ : state) {
-    auto r = linear::run_linear(cfg);
+    auto r = registry_run("linear", p);
     ::benchmark::DoNotOptimize(r.honest_bits);
     state.counters["amortized_bits"] = r.amortized();
   }
-  state.SetLabel(cfg.adversary);
+  state.SetLabel(p.adversary);
 }
 BENCHMARK(BM_Adversary)->DenseRange(0, 3)->Unit(::benchmark::kMillisecond);
 

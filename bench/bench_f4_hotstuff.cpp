@@ -4,9 +4,6 @@
 // cost. Prints the per-slot honest commit fraction for both protocols.
 #include "bench_common.hpp"
 
-#include "bb/hotstuff_demo.hpp"
-#include "bb/linear_bb.hpp"
-
 namespace ambb::bench {
 namespace {
 
@@ -19,26 +16,19 @@ void run_comparison() {
       "HotStuff w/o fallback: <= f honest nodes stall forever; Algorithm 4 "
       "recovers via Query/Respond");
 
-  hs::HsConfig hcfg;
-  hcfg.n = n;
-  hcfg.f = f;
-  hcfg.slots = slots;
-  hcfg.seed = 3;
-  hcfg.adversary = "selective";
-
-  linear::LinearConfig lcfg;
-  lcfg.n = n;
-  lcfg.f = f;
-  lcfg.slots = slots;
-  lcfg.seed = 3;
-  lcfg.adversary = "selective";
+  CommonParams p;
+  p.n = n;
+  p.f = f;
+  p.slots = slots;
+  p.seed = 3;
+  p.adversary = "selective";
 
   // HotStuff-without-fallback stalling under selective leaders is the
-  // claim under test, so its termination check stays out of the tally.
-  const std::vector<RunResult> results = run_jobs(
-      {Job{"hotstuff/selective", [hcfg] { return hs::run_hotstuff_demo(hcfg); },
-           /*allow_stall=*/true},
-       Job{"linear/selective", [lcfg] { return linear::run_linear(lcfg); }}});
+  // claim under test, so its termination check stays out of the tally
+  // (the registry's stall policy already says so).
+  const std::vector<RunResult> results =
+      run_jobs({registry_job("hotstuff", p, "hotstuff/selective"),
+                registry_job("linear", p, "linear/selective")});
   const RunResult& hr = results[0];
   const RunResult& lr = results[1];
 
@@ -75,17 +65,17 @@ void run_comparison() {
 }
 
 void BM_HotstuffSlot(::benchmark::State& state) {
-  hs::HsConfig cfg;
-  cfg.n = 16;
-  cfg.f = 5;
-  cfg.slots = 16;
-  cfg.seed = 3;
-  cfg.adversary = state.range(0) == 0 ? "none" : "selective";
+  CommonParams p;
+  p.n = 16;
+  p.f = 5;
+  p.slots = 16;
+  p.seed = 3;
+  p.adversary = state.range(0) == 0 ? "none" : "selective";
   for (auto _ : state) {
-    auto r = hs::run_hotstuff_demo(cfg);
+    auto r = registry_run("hotstuff", p);
     ::benchmark::DoNotOptimize(r.honest_bits);
   }
-  state.SetLabel(cfg.adversary);
+  state.SetLabel(p.adversary);
 }
 BENCHMARK(BM_HotstuffSlot)->Arg(0)->Arg(1)->Unit(::benchmark::kMillisecond);
 

@@ -5,21 +5,20 @@
 // steady state is O(kappa n^2) from the at-most-two prop forwards.
 #include "bench_common.hpp"
 
-#include "bb/quadratic_bb.hpp"
-
 namespace ambb::bench {
 namespace {
 
 Job quad_job(std::uint32_t n, std::uint32_t f, Slot slots,
              const char* adv) {
-  quad::QuadConfig cfg;
-  cfg.n = n;
-  cfg.f = f;
-  cfg.slots = slots;
-  cfg.seed = 13;
-  cfg.adversary = adv;
-  return Job{std::string("quadratic/") + adv + "/L" + std::to_string(slots),
-             [cfg] { return quad::run_quadratic(cfg); }};
+  CommonParams p;
+  p.n = n;
+  p.f = f;
+  p.slots = slots;
+  p.seed = 13;
+  p.adversary = adv;
+  return registry_job("quadratic", p,
+                      std::string("quadratic/") + adv + "/L" +
+                          std::to_string(slots));
 }
 
 std::uint64_t kind_bits(const RunResult& r, const char* kind) {
@@ -73,14 +72,14 @@ void run_tables() {
 }
 
 void BM_QuadRun(::benchmark::State& state) {
-  quad::QuadConfig cfg;
-  cfg.n = 16;
-  cfg.f = 8;
-  cfg.slots = static_cast<ambb::Slot>(state.range(0));
-  cfg.seed = 13;
-  cfg.adversary = "silent";
+  CommonParams p;
+  p.n = 16;
+  p.f = 8;
+  p.slots = static_cast<ambb::Slot>(state.range(0));
+  p.seed = 13;
+  p.adversary = "silent";
   for (auto _ : state) {
-    auto r = quad::run_quadratic(cfg);
+    auto r = registry_run("quadratic", p);
     ::benchmark::DoNotOptimize(r.honest_bits);
     state.counters["amortized_bits"] = r.amortized();
   }

@@ -20,7 +20,7 @@ void list_protocols() {
   TextTable t({"name", "Table 1 row", "adversaries"});
   for (const auto& p : protocols()) {
     std::string advs;
-    for (const auto& a : p.adversaries) {
+    for (const auto& a : p.policy.named) {
       if (!advs.empty()) advs += " ";
       advs += a;
     }
@@ -36,10 +36,7 @@ int run_one(const ProtocolInfo& info, const std::string& adv,
   auto errs = check_consistency(r);
   auto v = check_validity(r);
   errs.insert(errs.end(), v.begin(), v.end());
-  bool may_stall = false;
-  for (const auto& a : info.known_liveness_failures) {
-    if (a == adv) may_stall = true;
-  }
+  const bool may_stall = info.policy.may_stall(adv);
   const auto stalls = check_termination(r);
   std::string live = stalls.empty()
                          ? "ok"
@@ -80,7 +77,7 @@ int main(int argc, char** argv) {
                "steady-state tail", "adversary bits/slot"});
   int rc = 0;
   if (adv == "all") {
-    for (const auto& a : info.adversaries) rc |= run_one(info, a, p, t);
+    for (const auto& a : info.policy.named) rc |= run_one(info, a, p, t);
   } else {
     rc = run_one(info, adv, p, t);
   }

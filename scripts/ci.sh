@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus the sanitizer passes.
 #
-#   scripts/ci.sh          # full: tier-1, then TSan engine, then ASan+UBSan
+#   scripts/ci.sh          # full: tier-1, trace lane, TSan engine, ASan+UBSan
 #   scripts/ci.sh tier1    # only the tier-1 build + full test suite
+#   scripts/ci.sh trace    # only the trace suite (`ctest -L trace`) + a
+#                          # sweep --trace-dir smoke run
 #   scripts/ci.sh tsan     # only the TSan build + `ctest -L engine`
 #   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine"`
 #
@@ -10,6 +12,13 @@
 # exactly the engine-labelled tests: they exercise the worker pool with
 # real protocol drivers, so a data race anywhere on the job path —
 # engine, sweep expansion, registry, simulator — trips it.
+#
+# The trace stage runs the TraceSink suite (golden JSONL, pure-observer
+# and --jobs determinism checks) and then smoke-tests the end-to-end
+# surface: ambb_sweep --trace-dir must write one trace per job and exit
+# zero. The JsonlSink-under-the-worker-pool case is additionally covered
+# by the TSan stage, because test_trace_determinism carries the engine
+# label too.
 #
 # The ASan+UBSan stage rebuilds into build-asan/ and runs the adversary
 # and engine suites: the fault-injection paths (after-the-fact erasure,
@@ -28,6 +37,22 @@ tier1() {
   cmake --build --preset default -j "$jobs"
   echo "== tier-1: ctest =="
   ctest --preset default -j "$jobs"
+}
+
+trace() {
+  echo "== trace: configure + build =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs"
+  echo "== trace: ctest -L trace =="
+  ctest --preset trace -j "$jobs"
+  echo "== trace: sweep --trace-dir smoke =="
+  local dir
+  dir="$(mktemp -d)"
+  (cd "$dir" && "$OLDPWD/build/tools/ambb_sweep" \
+      --spec "$OLDPWD/tools/specs/f2_scaling.spec" \
+      --filter alg4 --trace-dir traces)
+  ls "$dir"/traces/*.jsonl >/dev/null
+  rm -rf "$dir"
 }
 
 tsan() {
@@ -51,15 +76,17 @@ asan() {
 
 case "$stage" in
   tier1) tier1 ;;
+  trace) trace ;;
   tsan) tsan ;;
   asan) asan ;;
   all)
     tier1
+    trace
     tsan
     asan
     ;;
   *)
-    echo "usage: $0 [tier1|tsan|asan|all]" >&2
+    echo "usage: $0 [tier1|trace|tsan|asan|all]" >&2
     exit 2
     ;;
 esac

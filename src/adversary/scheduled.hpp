@@ -41,6 +41,7 @@
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "sim/net.hpp"
+#include "trace/trace.hpp"
 
 namespace ambb::adversary {
 
@@ -61,16 +62,31 @@ class FaultedActor final : public Actor<Msg> {
  public:
   FaultedActor(NodeId self, std::uint32_t n,
                std::unique_ptr<Actor<Msg>> inner,
-               std::vector<ActorFault> faults, std::uint64_t seed)
+               std::vector<ActorFault> faults, std::uint64_t seed,
+               trace::TraceSink* trace = nullptr)
       : self_(self),
         n_(n),
         inner_(std::move(inner)),
         faults_(std::move(faults)),
-        rng_(seed) {}
+        rng_(seed),
+        trace_(trace) {}
 
   void on_round(Round r, std::span<const Delivery<Msg>> inbox,
                 const TrafficView<Msg>& rushed,
                 RoundApi<Msg>& api) override {
+    // Trace each actor-level fault as it becomes active (its first
+    // round); count carries the fault's last active round.
+    for (const auto& a : faults_) {
+      if (a.from != r) continue;
+      trace::Event ev;
+      ev.kind = trace::EventKind::kAdversaryAction;
+      ev.round = r;
+      ev.node = self_;
+      ev.detail = fault_kind_name(a.kind);
+      ev.count = a.to;
+      trace::emit(trace_, ev);
+    }
+
     // The inner actor always runs: a faulty node still reads its inbox
     // and keeps its state machine plausible; faults act on output only.
     scratch_.reset(n_);
@@ -183,6 +199,7 @@ class FaultedActor final : public Actor<Msg> {
   Rng rng_;
   TrafficLog<Msg> scratch_;      ///< reused per-round capture buffer
   std::vector<PendingMsg> pending_;  ///< staggered output awaiting release
+  trace::TraceSink* trace_ = nullptr;
 };
 
 /// Adversary driven entirely by a validated FaultSchedule.
@@ -216,6 +233,11 @@ class ScheduledAdversary final : public Adversary<Msg> {
     typed_.push_back(TypedErase{ev, std::move(filter)});
   }
 
+  /// Forward fault-activation events of generically-faulted actors to a
+  /// sink (may be nullptr). Corruptions and erasures are traced by the
+  /// Simulation itself.
+  void set_trace(trace::TraceSink* trace) { trace_ = trace; }
+
   const FaultSchedule& schedule() const { return sched_; }
 
   std::vector<NodeId> initial_corruptions() override {
@@ -237,7 +259,7 @@ class ScheduledAdversary final : public Adversary<Msg> {
     }
     std::uint64_t h = seed_ ^ (0xFA017ED5EEDULL + node);
     return std::make_unique<FaultedActor<Msg>>(
-        node, n_, honest_(node), std::move(mine), splitmix64(h));
+        node, n_, honest_(node), std::move(mine), splitmix64(h), trace_);
   }
 
   void observe_round(Round r, const TrafficView<Msg>& traffic,
@@ -280,6 +302,7 @@ class ScheduledAdversary final : public Adversary<Msg> {
   ActorFactory honest_;
   ActorFactory byzantine_;
   std::vector<TypedErase> typed_;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 /// Everything a driver supplies to instantiate a framework adversary.
@@ -290,6 +313,7 @@ struct ScheduleEnv {
   std::uint64_t seed = 0;
   Round horizon = 0;  ///< total rounds the driver will execute
   typename ScheduledAdversary<Msg>::ActorFactory honest_factory;
+  trace::TraceSink* trace = nullptr;  ///< optional event sink, not owned
 };
 
 /// Build the adversary for any framework spec ("sched:..." or
@@ -309,8 +333,10 @@ std::unique_ptr<ScheduledAdversary<Msg>> make_scheduled_adversary(
     s = parse_schedule_spec(spec);
   }
   validate(s, env.n, env.f);
-  return std::make_unique<ScheduledAdversary<Msg>>(
+  auto adv = std::make_unique<ScheduledAdversary<Msg>>(
       std::move(s), env.n, env.seed, env.honest_factory);
+  adv->set_trace(env.trace);
+  return adv;
 }
 
 }  // namespace ambb::adversary

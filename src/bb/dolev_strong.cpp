@@ -113,6 +113,13 @@ void DsNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
     if (t == ctx_->f + 1 && !ctx_->commits->has(id_, k)) {
       const Value v = extracted_.size() == 1 ? extracted_[0] : kBotValue;
       ctx_->commits->record(id_, k, v, r);
+      trace::Event ev;
+      ev.kind = trace::EventKind::kSlotCommit;
+      ev.round = r;
+      ev.slot = k;
+      ev.node = id_;
+      ev.value = v;
+      trace::emit(ctx_->trace, ev);
     }
   }
   if (dev_ != nullptr) dev_->extra(k, t, id_, *ctx_, api);
@@ -244,9 +251,11 @@ RunResult run_dolev_strong(const DsConfig& cfg) {
   ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
     return static_cast<NodeId>((s - 1) % n);
   };
+  ctx.trace = cfg.trace;
 
   Sim sim(cfg.n, cfg.f, &ledger,
           CostPolicy{ctx.wire, ctx.sched, ctx.use_multisig});
+  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<DsNode>(v, &ctx));
   }
@@ -259,6 +268,7 @@ RunResult run_dolev_strong(const DsConfig& cfg) {
     env.f = cfg.f;
     env.seed = cfg.seed ^ 0xAD7E25A1ULL;
     env.horizon = total_rounds;
+    env.trace = cfg.trace;
     env.honest_factory = [ctxp = &ctx](NodeId v) {
       return std::make_unique<DsNode>(v, ctxp);
     };
@@ -269,7 +279,18 @@ RunResult run_dolev_strong(const DsConfig& cfg) {
     sim.bind_adversary(adversary.get());
   }
 
-  sim.run_rounds(total_rounds);
+  for (std::uint64_t i = 0; i < total_rounds; ++i) {
+    if (ctx.sched.offset_of(i) == 0) {
+      const Slot k = ctx.sched.slot_of(i);
+      trace::Event ev;
+      ev.kind = trace::EventKind::kSlotStart;
+      ev.round = i;
+      ev.slot = k;
+      ev.node = ctx.sender_of(k);
+      trace::emit(cfg.trace, ev);
+    }
+    sim.step();
+  }
 
   RunResult res;
   res.n = cfg.n;

@@ -126,6 +126,16 @@ class HsNode final : public Actor<Msg> {
           }
           if (votes1_.size() >= quorum) {
             cert_made_ = true;
+            {
+              trace::Event ev;
+              ev.kind = trace::EventKind::kCertFormed;
+              ev.round = r;
+              ev.slot = k;
+              ev.node = id_;
+              ev.value = value_;
+              ev.detail = "cert";
+              trace::emit(ctx_->trace, ev);
+            }
             Msg c;
             c.kind = Kind::kCert;
             c.slot = k;
@@ -168,6 +178,16 @@ class HsNode final : public Actor<Msg> {
           }
           if (votes2_.size() >= quorum) {
             proof_made_ = true;
+            {
+              trace::Event ev;
+              ev.kind = trace::EventKind::kCertFormed;
+              ev.round = r;
+              ev.slot = k;
+              ev.node = id_;
+              ev.value = value_;
+              ev.detail = "commit-proof";
+              trace::emit(ctx_->trace, ev);
+            }
             Msg p;
             p.kind = Kind::kProof;
             p.slot = k;
@@ -191,6 +211,13 @@ class HsNode final : public Actor<Msg> {
           if (!ctx_->th->verify(m.thsig, round2_digest(k, m.value))) continue;
           if (!ctx_->commits->has(id_, k)) {
             ctx_->commits->record(id_, k, m.value, r);
+            trace::Event ev;
+            ev.kind = trace::EventKind::kSlotCommit;
+            ev.round = r;
+            ev.slot = k;
+            ev.node = id_;
+            ev.value = m.value;
+            trace::emit(ctx_->trace, ev);
           }
           break;
         }
@@ -260,9 +287,11 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
   ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
     return static_cast<NodeId>((s - 1) % n);
   };
+  ctx.trace = cfg.trace;
 
   Sim sim(cfg.n, std::max<std::uint32_t>(cfg.f, 1), &ledger,
           CostPolicy{ctx.wire, ctx.sched});
+  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<HsNode>(v, &ctx));
   }
@@ -275,6 +304,7 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
     env.f = cfg.f;
     env.seed = cfg.seed ^ 0xAD7E25A1ULL;
     env.horizon = total_rounds;
+    env.trace = cfg.trace;
     env.honest_factory = [ctxp = &ctx](NodeId v) {
       return std::make_unique<HsNode>(v, ctxp);
     };
@@ -287,7 +317,18 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
     AMBB_CHECK_MSG(cfg.adversary == "none",
                    "unknown hs adversary " << cfg.adversary);
   }
-  sim.run_rounds(total_rounds);
+  for (std::uint64_t i = 0; i < total_rounds; ++i) {
+    if (ctx.sched.offset_of(i) == 0) {
+      const Slot k = ctx.sched.slot_of(i);
+      trace::Event ev;
+      ev.kind = trace::EventKind::kSlotStart;
+      ev.round = i;
+      ev.slot = k;
+      ev.node = ctx.sender_of(k);
+      trace::emit(cfg.trace, ev);
+    }
+    sim.step();
+  }
 
   return assemble_result(
       cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits, sim.round_stats(),

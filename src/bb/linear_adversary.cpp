@@ -176,6 +176,7 @@ std::unique_ptr<Adversary<Msg>> make_adversary(const std::string& spec,
     env.f = ctx->f;
     env.seed = seed;
     env.horizon = horizon;
+    env.trace = ctx->trace;
     // No-op Deviation marker: the corrupted-seat replica is behaviourally
     // honest, but any honest-only invariant in LinearNode must treat it
     // as Byzantine (it may start from fresh state mid-run).

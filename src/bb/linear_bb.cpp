@@ -255,11 +255,24 @@ void LinearNode::maybe_commit(Slot k, Epoch j, Value v,
       committed_ = true;
       committed_value_ = v;
       ctx_->commits->record(id_, k, v, r);
+      trace_commit(k, j, v, r);
     }
   } else if (k < cur_slot_ && !ctx_->commits->has(id_, k)) {
     // A proof for a past slot arriving on the slot boundary.
     ctx_->commits->record(id_, k, v, r);
+    trace_commit(k, j, v, r);
   }
+}
+
+void LinearNode::trace_commit(Slot k, Epoch j, Value v, Round r) {
+  trace::Event ev;
+  ev.kind = trace::EventKind::kSlotCommit;
+  ev.round = r;
+  ev.slot = k;
+  ev.epoch = j;
+  ev.node = id_;
+  ev.value = v;
+  trace::emit(ctx_->trace, ev);
 }
 
 void LinearNode::handle_accuse(const Msg& m, bool forwarded,
@@ -294,6 +307,17 @@ void LinearNode::handle_accuse(const Msg& m, bool forwarded,
       corrupt_proof_have_[target] = 1;
       accuse_shares_[target].clear();
       accuse_shares_[target].shrink_to_fit();
+      {
+        trace::Event ev;
+        ev.kind = trace::EventKind::kCertFormed;
+        ev.round = round_;
+        ev.slot = cur_slot_;
+        ev.epoch = cur_epoch_;
+        ev.node = id_;
+        ev.subject = target;
+        ev.detail = "corrupt-proof";
+        trace::emit(ctx_->trace, ev);
+      }
       if (!corrupt_proof_sent_[target]) {
         corrupt_proof_sent_[target] = 1;
         Msg cp;
@@ -522,6 +546,15 @@ void LinearNode::do_propagate1(std::span<const Delivery<Msg>> inbox,
 void LinearNode::issue_accuse(NodeId v, RoundApi<Msg>& api) {
   if (accused_by_me_.get(v)) return;
   accused_by_me_.set(v);
+  {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kAccusation;
+    ev.round = round_;
+    ev.slot = cur_slot_;
+    ev.node = id_;
+    ev.subject = v;
+    trace::emit(ctx_->trace, ev);
+  }
   Msg m;
   m.kind = Kind::kAccuse;
   m.slot = cur_slot_;
@@ -579,6 +612,17 @@ void LinearNode::do_certificate(RoundApi<Msg>& api) {
   m.cert = ctx_->th->combine(std::span<const SigShare>(lead_votes_),
                              vote_digest(cur_slot_, cur_epoch_, lead_value_));
   note_cert(cur_slot_, cur_epoch_, lead_value_, m.cert);
+  {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kCertFormed;
+    ev.round = round_;
+    ev.slot = cur_slot_;
+    ev.epoch = cur_epoch_;
+    ev.node = id_;
+    ev.value = lead_value_;
+    ev.detail = "cert";
+    trace::emit(ctx_->trace, ev);
+  }
   out_multicast(api, m);
 }
 
@@ -630,6 +674,17 @@ void LinearNode::do_commit(RoundApi<Msg>& api) {
   m.proof = ctx_->th->combine(
       std::span<const SigShare>(lead_cert_votes_),
       commit_digest(cur_slot_, cur_epoch_, lead_value_));
+  {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kCertFormed;
+    ev.round = round_;
+    ev.slot = cur_slot_;
+    ev.epoch = cur_epoch_;
+    ev.node = id_;
+    ev.value = lead_value_;
+    ev.detail = "commit-proof";
+    trace::emit(ctx_->trace, ev);
+  }
   out_multicast(api, m);
 }
 
@@ -888,8 +943,10 @@ RunResult run_linear(const LinearConfig& cfg) {
   ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
     return static_cast<NodeId>((s - 1) % n);
   };
+  ctx.trace = cfg.trace;
 
   Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire, ctx.sched});
+  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<LinearNode>(v, &ctx));
   }
@@ -900,6 +957,27 @@ RunResult run_linear(const LinearConfig& cfg) {
   if (adversary != nullptr) sim.bind_adversary(adversary.get());
 
   for (std::uint64_t i = 0; i < total_rounds; ++i) {
+    if (i % ctx.sched.rounds_per_slot() == 0) {
+      const Slot k = ctx.sched.slot_of(i);
+      trace::Event ev;
+      ev.kind = trace::EventKind::kSlotStart;
+      ev.round = i;
+      ev.slot = k;
+      ev.node = ctx.sender_of(k);
+      trace::emit(cfg.trace, ev);
+    }
+    if (i % Schedule::kRoundsPerEpoch == 0) {
+      const Slot k = ctx.sched.slot_of(i);
+      const Epoch ep = ctx.sched.epoch_of(i);
+      trace::Event ev;
+      ev.kind = trace::EventKind::kEpochPhase;
+      ev.round = i;
+      ev.slot = k;
+      ev.epoch = ep;
+      ev.node = ctx.leader(k, ep);
+      ev.detail = "epoch";
+      trace::emit(cfg.trace, ev);
+    }
     sim.step();
     if (cfg.on_round_end) cfg.on_round_end(sim.now() - 1, sim);
   }

@@ -187,6 +187,7 @@ struct Context {
   Options opts;
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;
+  trace::TraceSink* trace = nullptr;  ///< optional event sink, not owned
 
   NodeId leader(Slot k, Epoch i) const {
     return i == 0 ? sender_of(k) : static_cast<NodeId>((i - 1) % n);
@@ -266,6 +267,7 @@ class LinearNode final : public Actor<Msg> {
   void handle_accuse(const Msg& m, bool forwarded, RoundApi<Msg>& api);
   void maybe_commit(Slot k, Epoch j, Value v, const ThresholdSig& proof,
                     Round r, RoundApi<Msg>& api);
+  void trace_commit(Slot k, Epoch j, Value v, Round r);
   void note_cert(Slot k, Epoch j, Value v, const ThresholdSig& cert);
 
   // Offset-specific progress steps.
@@ -367,6 +369,9 @@ struct LinearConfig {
   std::uint32_t value_bits = kDefaultValueBits;
   Options opts;
   std::string adversary = "none";
+  /// Optional event sink, not owned (see src/trace/). Attaching a sink
+  /// never changes the run.
+  trace::TraceSink* trace = nullptr;
   /// Optional overrides; defaults: round-robin sender, hash-like inputs.
   std::function<Value(Slot)> input_for_slot;
   /// Causal-input variant (Sequentiality, Definition 2): the sender of

@@ -130,7 +130,16 @@ class PkNode final : public Actor<Msg> {
 
     if (off == sched.rounds_per_slot() - 1) {
       // Final round: the last king's message was just applied; commit.
-      if (!ctx_->commits->has(id_, k)) ctx_->commits->record(id_, k, v_, r);
+      if (!ctx_->commits->has(id_, k)) {
+        ctx_->commits->record(id_, k, v_, r);
+        trace::Event ev;
+        ev.kind = trace::EventKind::kSlotCommit;
+        ev.round = r;
+        ev.slot = k;
+        ev.node = id_;
+        ev.value = v_;
+        trace::emit(ctx_->trace, ev);
+      }
       return;
     }
 
@@ -272,9 +281,11 @@ RunResult run_phase_king(const PkConfig& cfg) {
   ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
     return static_cast<NodeId>((s - 1) % n);
   };
+  ctx.trace = cfg.trace;
 
   Sim sim(cfg.n, cfg.f == 0 ? 1 : cfg.f, &ledger,
           CostPolicy{ctx.wire, ctx.sched});
+  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<PkNode>(v, &ctx, nullptr, cfg.seed));
   }
@@ -287,6 +298,7 @@ RunResult run_phase_king(const PkConfig& cfg) {
     env.f = cfg.f;
     env.seed = cfg.seed ^ 0xAD7E25A1ULL;
     env.horizon = total_rounds;
+    env.trace = cfg.trace;
     env.honest_factory = [ctxp = &ctx, seed = cfg.seed](NodeId v) {
       return std::make_unique<PkNode>(v, ctxp, nullptr, seed);
     };
@@ -296,7 +308,30 @@ RunResult run_phase_king(const PkConfig& cfg) {
     adversary = std::make_unique<PkAdversary>(&ctx, cfg.adversary, cfg.seed);
     sim.bind_adversary(adversary.get());
   }
-  sim.run_rounds(total_rounds);
+  for (std::uint64_t i = 0; i < total_rounds; ++i) {
+    const std::uint32_t off = ctx.sched.offset_of(i);
+    const Slot k = ctx.sched.slot_of(i);
+    if (off == 0) {
+      trace::Event ev;
+      ev.kind = trace::EventKind::kSlotStart;
+      ev.round = i;
+      ev.slot = k;
+      ev.node = ctx.sender_of(k);
+      trace::emit(cfg.trace, ev);
+    } else if ((off - 1) % 3 == 0 && (off - 1) / 3 <= cfg.f) {
+      // Start of phase p; the king of phase p is node p.
+      const std::uint32_t p = (off - 1) / 3;
+      trace::Event ev;
+      ev.kind = trace::EventKind::kEpochPhase;
+      ev.round = i;
+      ev.slot = k;
+      ev.epoch = p;
+      ev.node = static_cast<NodeId>(p);
+      ev.detail = "king-phase";
+      trace::emit(cfg.trace, ev);
+    }
+    sim.step();
+  }
 
   return assemble_result(
       cfg.n, cfg.f, cfg.slots, sim.now(), ledger, commits, sim.round_stats(),

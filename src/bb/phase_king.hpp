@@ -67,6 +67,7 @@ struct Context {
   CommitLog* commits = nullptr;
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;
+  trace::TraceSink* trace = nullptr;  ///< optional event sink, not owned
 };
 
 std::uint64_t size_bits(const Msg& m, const WireModel& wire);
@@ -95,6 +96,8 @@ struct PkConfig {
   std::uint32_t kappa_bits = kDefaultKappaBits;
   std::uint32_t value_bits = kDefaultValueBits;
   std::string adversary = "none";  // none | silent | equivocate | confuse
+  /// Optional event sink, not owned (see src/trace/).
+  trace::TraceSink* trace = nullptr;
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;
 };

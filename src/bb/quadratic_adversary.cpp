@@ -175,6 +175,7 @@ std::unique_ptr<Adversary<Msg>> make_quad_adversary(const std::string& spec,
     env.f = ctx->f;
     env.seed = seed;
     env.horizon = horizon;
+    env.trace = ctx->trace;
     // The corrupted-seat replica runs honest logic but carries a no-op
     // Deviation marker: honest-only invariant CHECKs (TrustCast's
     // vote-or-value guarantee) must not fire for a Byzantine node

@@ -36,9 +36,18 @@ void QuadNode::out_multicast(RoundApi<Msg>& api, const Msg& m, Round r,
   }
 }
 
-void QuadNode::vote_corrupt(NodeId target, RoundApi<Msg>& api) {
+void QuadNode::vote_corrupt(NodeId target, RoundApi<Msg>& api, Round r) {
   if (voted_.get(target)) return;
   voted_.set(target);
+  {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kCorruptVote;
+    ev.round = r;
+    ev.slot = cur_slot_;
+    ev.node = id_;
+    ev.subject = target;
+    trace::emit(ctx_->trace, ev);
+  }
   Msg m;
   m.kind = Kind::kCorrupt;
   m.slot = cur_slot_;
@@ -67,6 +76,7 @@ void QuadNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
     cur_slot_ = k;
     engine_.begin_slot(k);
   }
+  engine_.set_round(r);
 
   if (dev_ != nullptr && dev_->silent(r)) return;
 
@@ -106,7 +116,7 @@ void QuadNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
     // Dolev-Strong phase: tau in [0, f+1].
     const std::uint32_t tau = offset - (n + 1);
     if (tau == 0) {
-      if (!engine_.sender_present()) vote_corrupt(sender, api);
+      if (!engine_.sender_present()) vote_corrupt(sender, api, r);
     } else {
       if (!engine_.sender_present() &&
           vote_seen_[sender].count() >= tau) {
@@ -123,7 +133,7 @@ void QuadNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
           m.sig = sig;
           out_multicast(api, m, r, offset);
         }
-        vote_corrupt(sender, api);
+        vote_corrupt(sender, api, r);
       }
     }
     // Commit at the end of the last round of the slot.
@@ -141,6 +151,13 @@ void QuadNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
           v = rv.value_or(kBotValue);
         }
         ctx_->commits->record(id_, k, v, r);
+        trace::Event ev;
+        ev.kind = trace::EventKind::kSlotCommit;
+        ev.round = r;
+        ev.slot = k;
+        ev.node = id_;
+        ev.value = v;
+        trace::emit(ctx_->trace, ev);
       }
     }
   }
@@ -177,8 +194,10 @@ RunResult run_quadratic(const QuadConfig& cfg) {
   ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
     return static_cast<NodeId>((s - 1) % n);
   };
+  ctx.trace = cfg.trace;
 
   Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire, ctx.sched});
+  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<QuadNode>(v, &ctx));
   }
@@ -189,6 +208,33 @@ RunResult run_quadratic(const QuadConfig& cfg) {
   if (adversary != nullptr) sim.bind_adversary(adversary.get());
 
   for (std::uint64_t i = 0; i < total_rounds; ++i) {
+    const std::uint32_t off = ctx.sched.offset_of(i);
+    const Slot k = ctx.sched.slot_of(i);
+    if (off == 0) {
+      trace::Event ev;
+      ev.kind = trace::EventKind::kSlotStart;
+      ev.round = i;
+      ev.slot = k;
+      ev.node = ctx.sender_of(k);
+      trace::emit(cfg.trace, ev);
+      ev.kind = trace::EventKind::kEpochPhase;
+      ev.detail = "propose";
+      trace::emit(cfg.trace, ev);
+    } else if (off == 1) {
+      trace::Event ev;
+      ev.kind = trace::EventKind::kEpochPhase;
+      ev.round = i;
+      ev.slot = k;
+      ev.detail = "trustcast";
+      trace::emit(cfg.trace, ev);
+    } else if (off == cfg.n + 1) {
+      trace::Event ev;
+      ev.kind = trace::EventKind::kEpochPhase;
+      ev.round = i;
+      ev.slot = k;
+      ev.detail = "dolev-strong";
+      trace::emit(cfg.trace, ev);
+    }
     sim.step();
     if (cfg.on_round_end) cfg.on_round_end(sim.now() - 1, sim);
   }

@@ -89,7 +89,7 @@ class QuadNode final : public Actor<Msg> {
   Msg build_prop(Value v) const;
 
  private:
-  void vote_corrupt(NodeId target, RoundApi<Msg>& api);
+  void vote_corrupt(NodeId target, RoundApi<Msg>& api, Round r);
   void out_multicast(RoundApi<Msg>& api, const Msg& m, Round r,
                      std::uint32_t offset);
 
@@ -115,6 +115,8 @@ struct QuadConfig {
   std::uint32_t kappa_bits = kDefaultKappaBits;
   std::uint32_t value_bits = kDefaultValueBits;
   std::string adversary = "none";
+  /// Optional event sink, not owned (see src/trace/).
+  trace::TraceSink* trace = nullptr;
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;
   /// Test hooks (see linear::LinearConfig).

@@ -91,11 +91,29 @@ std::optional<Value> TrustCastEngine::received_value() const {
 void TrustCastEngine::remove_edge_and_prune(NodeId a, NodeId b) {
   graph_.remove_edge(a, b);
   graph_.prune_unconnected(id_);
+  trace::Event ev;
+  ev.kind = trace::EventKind::kTrustEdgeRemoved;
+  ev.round = round_;
+  ev.slot = slot_;
+  ev.node = id_;
+  ev.subject = a;
+  ev.peer = b;
+  ev.detail = "accusation";
+  trace::emit(ctx_->trace, ev);
 }
 
 void TrustCastEngine::issue_accuse(NodeId v, RoundApi<Msg>& api) {
   if (accuse_sent_seen_[id_].get(v)) return;
   accuse_sent_seen_[id_].set(v);
+  {
+    trace::Event ev;
+    ev.kind = trace::EventKind::kAccusation;
+    ev.round = round_;
+    ev.slot = slot_;
+    ev.node = id_;
+    ev.subject = v;
+    trace::emit(ctx_->trace, ev);
+  }
   remove_edge_and_prune(id_, v);
   Msg m;
   m.kind = Kind::kAccuse;
@@ -140,6 +158,14 @@ void TrustCastEngine::handle(const Msg& m, RoundApi<Msg>& api,
         // Equivocation: remove the sender outright.
         graph_.remove_vertex(sender_);
         graph_.prune_unconnected(id_);
+        trace::Event ev;
+        ev.kind = trace::EventKind::kTrustEdgeRemoved;
+        ev.round = round_;
+        ev.slot = slot_;
+        ev.node = id_;
+        ev.subject = sender_;
+        ev.detail = "equivocation";
+        trace::emit(ctx_->trace, ev);
       }
       break;
     }

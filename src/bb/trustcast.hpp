@@ -83,6 +83,7 @@ struct Context {
   CommitLog* commits = nullptr;
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;
+  trace::TraceSink* trace = nullptr;  ///< optional event sink, not owned
 };
 
 /// Accounting policy, evaluated once per traffic record.
@@ -108,6 +109,10 @@ class TrustCastEngine {
   TrustCastEngine(NodeId id, const Context* ctx);
 
   void begin_slot(Slot k);
+
+  /// Current simulator round, for event timestamps only (never feeds
+  /// back into protocol decisions). Callers set it once per round.
+  void set_round(Round r) { round_ = r; }
 
   /// Process one inbound message: prop forwarding + equivocation, edge
   /// removals + accusation forwarding, pruning. Safe to call in every
@@ -151,6 +156,7 @@ class TrustCastEngine {
   NodeId sender_ = kNoNode;
   std::vector<Value> prop_values_;  ///< distinct sender values seen (<= 2)
   std::uint32_t props_forwarded_ = 0;
+  Round round_ = 0;  ///< event timestamps only
 };
 
 }  // namespace ambb::quad

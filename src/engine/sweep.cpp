@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
+#include <iomanip>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "trace/trace.hpp"
 
 namespace ambb::engine {
 
@@ -139,6 +142,44 @@ std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs) {
   std::vector<Job> out;
   out.reserve(sjs.size());
   for (const auto& sj : sjs) out.push_back(to_engine_job(sj));
+  return out;
+}
+
+std::string trace_path(const std::string& dir, std::size_t index,
+                       const std::string& label) {
+  std::string name = label;
+  for (char& c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                    c == '-';
+    if (!ok) c = '-';
+  }
+  std::ostringstream os;
+  os << dir << '/' << std::setw(4) << std::setfill('0') << index << '_'
+     << name << ".jsonl";
+  return os.str();
+}
+
+std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs,
+                                const std::string& trace_dir) {
+  if (trace_dir.empty()) return to_engine_jobs(sjs);
+  std::vector<Job> out;
+  out.reserve(sjs.size());
+  for (std::size_t i = 0; i < sjs.size(); ++i) {
+    const SweepJob& sj = sjs[i];
+    const ProtocolInfo& info = protocol(sj.protocol);
+    CommonParams params = sj.params;
+    std::string path = trace_path(trace_dir, i, sj.label);
+    out.push_back(Job{sj.label,
+                      [&info, params, path = std::move(path)] {
+                        std::ofstream os(path,
+                                         std::ios::binary | std::ios::trunc);
+                        AMBB_CHECK_MSG(os, "cannot open trace file " << path);
+                        trace::JsonlSink sink(os);
+                        return info.run(RunRequest{params, &sink});
+                      },
+                      sj.allow_stall});
+  }
   return out;
 }
 

@@ -99,6 +99,21 @@ Job to_engine_job(const SweepJob& sj);
 
 std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs);
 
+/// Trace file path for job `index` of a sweep: "<dir>/NNNN_<label>.jsonl"
+/// with the submission index zero-padded and every label character
+/// outside [A-Za-z0-9._-] replaced by '-'. Submission-order naming keeps
+/// the directory listing aligned with the report rows regardless of
+/// --jobs.
+std::string trace_path(const std::string& dir, std::size_t index,
+                       const std::string& label);
+
+/// Like to_engine_jobs, but each job writes a deterministic JSONL event
+/// trace to trace_path(trace_dir, index, label). Each closure owns its
+/// file stream and sink, so parallel workers never share a sink. An
+/// empty trace_dir degenerates to the plain overload.
+std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs,
+                                const std::string& trace_dir);
+
 /// Parse the spec-file format described in the header comment.
 std::vector<SweepSpec> parse_spec(const std::string& text);
 

@@ -15,7 +15,8 @@ namespace ambb {
 
 namespace {
 
-RunResult run_linear_with(const CommonParams& p, linear::Options opts) {
+RunResult run_linear_with(const RunRequest& rq, linear::Options opts) {
+  const CommonParams& p = rq.params;
   linear::LinearConfig cfg;
   cfg.n = p.n;
   cfg.f = p.f;
@@ -26,15 +27,18 @@ RunResult run_linear_with(const CommonParams& p, linear::Options opts) {
   cfg.value_bits = p.value_bits;
   cfg.opts = opts;
   cfg.adversary = p.adversary;
+  cfg.trace = rq.trace;
   return run_linear(cfg);
 }
 
 std::vector<ProtocolInfo> build() {
   std::vector<ProtocolInfo> out;
 
-  const std::vector<std::string> lin_advs = {
-      "none",  "silent", "equivocate",    "selective", "flood",
-      "mixed", "drop",   "chaos",         "adaptive-erase"};
+  const AdversaryPolicy lin_policy{
+      {"none", "silent", "equivocate", "selective", "flood", "mixed", "drop",
+       "chaos", "adaptive-erase"},
+      /*liveness_failures=*/{},
+      /*sched_may_stall=*/false};
   auto lin_max_f = [](std::uint32_t n) {
     // f <= (1/2 - eps) n with eps = 0.1, i.e. floor(2n/5) — exact integer
     // arithmetic; 0.4 is not representable in binary floating point, so
@@ -46,54 +50,57 @@ std::vector<ProtocolInfo> build() {
   out.push_back(ProtocolInfo{
       "linear",
       "This work, f <= (1/2-eps)n, amortized O(kn)",
-      lin_advs,
+      lin_policy,
       lin_max_f,
-      [](const CommonParams& p) {
-        return run_linear_with(p, linear::Options::paper());
-      },
-      {}});
+      [](const RunRequest& rq) {
+        return run_linear_with(rq, linear::Options::paper());
+      }});
 
   out.push_back(ProtocolInfo{
       "mr-baseline",
       "Momose-Ren style, f <= (1/2-eps)n, O(kn^2) per slot",
-      lin_advs,
+      lin_policy,
       lin_max_f,
-      [](const CommonParams& p) {
-        return run_linear_with(p, linear::Options::mr_baseline());
-      },
-      {}});
+      [](const RunRequest& rq) {
+        return run_linear_with(rq, linear::Options::mr_baseline());
+      }});
 
   out.push_back(ProtocolInfo{
       "linear-nomem",
       "Ablation: Algorithm 4 without cross-slot accusation memory",
-      lin_advs,
+      lin_policy,
       lin_max_f,
-      [](const CommonParams& p) {
-        return run_linear_with(p, linear::Options::no_memory());
-      },
-      {}});
+      [](const RunRequest& rq) {
+        return run_linear_with(rq, linear::Options::no_memory());
+      }});
 
-  out.push_back(ProtocolInfo{
-      "linear-noquery",
-      "Ablation: Algorithm 4 without the Query/Respond path",
-      lin_advs,
-      lin_max_f,
-      [](const CommonParams& p) {
-        return run_linear_with(p, linear::Options::no_query());
-      },
-      // Without the dissemination path, a selective (or randomly lossy)
-      // leader's partial commit permanently starves the rest (no quorum
-      // remains in later epochs).
-      {"selective", "mixed", "drop", "chaos"}});
-  out.back().sched_may_stall = true;  // same starvation under schedules
+  {
+    AdversaryPolicy policy = lin_policy;
+    // Without the dissemination path, a selective (or randomly lossy)
+    // leader's partial commit permanently starves the rest (no quorum
+    // remains in later epochs); same starvation under schedules.
+    policy.liveness_failures = {"selective", "mixed", "drop", "chaos"};
+    policy.sched_may_stall = true;
+    out.push_back(ProtocolInfo{
+        "linear-noquery",
+        "Ablation: Algorithm 4 without the Query/Respond path",
+        std::move(policy),
+        lin_max_f,
+        [](const RunRequest& rq) {
+          return run_linear_with(rq, linear::Options::no_query());
+        }});
+  }
 
   out.push_back(ProtocolInfo{
       "quadratic",
       "This work, f < n, amortized O(kn^2)",
-      {"none", "silent", "equivocate", "conspiracy", "lateprop",
-       "floodaccuse", "framer"},
+      AdversaryPolicy{{"none", "silent", "equivocate", "conspiracy",
+                       "lateprop", "floodaccuse", "framer"},
+                      {},
+                      false},
       [](std::uint32_t n) { return n - 1; },
-      [](const CommonParams& p) {
+      [](const RunRequest& rq) {
+        const CommonParams& p = rq.params;
         quad::QuadConfig cfg;
         cfg.n = p.n;
         cfg.f = p.f;
@@ -102,54 +109,48 @@ std::vector<ProtocolInfo> build() {
         cfg.kappa_bits = p.kappa_bits;
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
+        cfg.trace = rq.trace;
         return run_quadratic(cfg);
-      },
-      {}});
+      }});
+
+  const AdversaryPolicy ds_policy{
+      {"none", "silent", "equivocate", "stagger"}, {}, false};
+  auto run_ds = [](const RunRequest& rq, bool use_multisig) {
+    const CommonParams& p = rq.params;
+    ds::DsConfig cfg;
+    cfg.n = p.n;
+    cfg.f = p.f;
+    cfg.slots = p.slots;
+    cfg.seed = p.seed;
+    cfg.use_multisig = use_multisig;
+    cfg.kappa_bits = p.kappa_bits;
+    cfg.value_bits = p.value_bits;
+    cfg.adversary = p.adversary;
+    cfg.trace = rq.trace;
+    return run_dolev_strong(cfg);
+  };
 
   out.push_back(ProtocolInfo{
       "dolev-strong",
       "Dolev-Strong, f < n, plain signatures, O(kn^3) per slot",
-      {"none", "silent", "equivocate", "stagger"},
+      ds_policy,
       [](std::uint32_t n) { return n - 1; },
-      [](const CommonParams& p) {
-        ds::DsConfig cfg;
-        cfg.n = p.n;
-        cfg.f = p.f;
-        cfg.slots = p.slots;
-        cfg.seed = p.seed;
-        cfg.use_multisig = false;
-        cfg.kappa_bits = p.kappa_bits;
-        cfg.value_bits = p.value_bits;
-        cfg.adversary = p.adversary;
-        return run_dolev_strong(cfg);
-      },
-      {}});
+      [run_ds](const RunRequest& rq) { return run_ds(rq, false); }});
 
   out.push_back(ProtocolInfo{
       "dolev-strong-msig",
       "Dolev-Strong, f < n, multi-signatures, O(kn^2 + n^3) per slot",
-      {"none", "silent", "equivocate", "stagger"},
+      ds_policy,
       [](std::uint32_t n) { return n - 1; },
-      [](const CommonParams& p) {
-        ds::DsConfig cfg;
-        cfg.n = p.n;
-        cfg.f = p.f;
-        cfg.slots = p.slots;
-        cfg.seed = p.seed;
-        cfg.use_multisig = true;
-        cfg.kappa_bits = p.kappa_bits;
-        cfg.value_bits = p.value_bits;
-        cfg.adversary = p.adversary;
-        return run_dolev_strong(cfg);
-      },
-      {}});
+      [run_ds](const RunRequest& rq) { return run_ds(rq, true); }});
 
   out.push_back(ProtocolInfo{
       "phase-king",
       "Berman et al. family, f < n/3, no crypto (see DESIGN.md note)",
-      {"none", "silent", "equivocate", "confuse"},
+      AdversaryPolicy{{"none", "silent", "equivocate", "confuse"}, {}, false},
       [](std::uint32_t n) { return (n - 1) / 3; },
-      [](const CommonParams& p) {
+      [](const RunRequest& rq) {
+        const CommonParams& p = rq.params;
         pk::PkConfig cfg;
         cfg.n = p.n;
         cfg.f = p.f;
@@ -158,16 +159,21 @@ std::vector<ProtocolInfo> build() {
         cfg.kappa_bits = p.kappa_bits;
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
+        cfg.trace = rq.trace;
         return run_phase_king(cfg);
-      },
-      {}});
+      }});
 
   out.push_back(ProtocolInfo{
       "hotstuff",
       "Appendix A: HotStuff without a fallback path",
-      {"none", "selective"},
+      // No fallback: a selective (or schedule-silenced) leader stalls up
+      // to f honest nodes permanently.
+      AdversaryPolicy{{"none", "selective"},
+                      {"selective"},
+                      /*sched_may_stall=*/true},
       [](std::uint32_t n) { return (n - 1) / 3; },
-      [](const CommonParams& p) {
+      [](const RunRequest& rq) {
+        const CommonParams& p = rq.params;
         hs::HsConfig cfg;
         cfg.n = p.n;
         cfg.f = p.f;
@@ -176,15 +182,25 @@ std::vector<ProtocolInfo> build() {
         cfg.kappa_bits = p.kappa_bits;
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
+        cfg.trace = rq.trace;
         return run_hotstuff_demo(cfg);
-      },
-      {"selective"}});
-  out.back().sched_may_stall = true;  // no fallback: silenced leader stalls
+      }});
 
   return out;
 }
 
 }  // namespace
+
+bool AdversaryPolicy::accepts(const std::string& spec) const {
+  if (adversary::is_schedule_spec(spec)) return true;
+  return std::find(named.begin(), named.end(), spec) != named.end();
+}
+
+bool AdversaryPolicy::may_stall(const std::string& spec) const {
+  if (adversary::is_schedule_spec(spec)) return sched_may_stall;
+  return std::find(liveness_failures.begin(), liveness_failures.end(),
+                   spec) != liveness_failures.end();
+}
 
 const std::vector<ProtocolInfo>& protocols() {
   static const std::vector<ProtocolInfo> kProtocols = build();
@@ -204,16 +220,11 @@ const ProtocolInfo& protocol(const std::string& name) {
 }
 
 bool accepts_adversary(const ProtocolInfo& info, const std::string& spec) {
-  if (adversary::is_schedule_spec(spec)) return true;
-  return std::find(info.adversaries.begin(), info.adversaries.end(), spec) !=
-         info.adversaries.end();
+  return info.policy.accepts(spec);
 }
 
 bool may_stall(const ProtocolInfo& info, const std::string& spec) {
-  if (adversary::is_schedule_spec(spec)) return info.sched_may_stall;
-  return std::find(info.known_liveness_failures.begin(),
-                   info.known_liveness_failures.end(),
-                   spec) != info.known_liveness_failures.end();
+  return info.policy.may_stall(spec);
 }
 
 }  // namespace ambb

@@ -11,6 +11,10 @@
 
 namespace ambb {
 
+namespace trace {
+class TraceSink;
+}
+
 struct CommonParams {
   std::uint32_t n = 16;
   std::uint32_t f = 4;
@@ -25,35 +29,57 @@ struct CommonParams {
   double eps = 0.1;
 };
 
-struct ProtocolInfo {
-  std::string name;
-  std::string table1_row;  ///< which Table 1 row this reproduces
-  std::vector<std::string> adversaries;  ///< accepted adversary specs
-  /// Largest f this protocol supports for a given n.
-  std::function<std::uint32_t(std::uint32_t n)> max_f;
-  std::function<RunResult(const CommonParams&)> run;
-  /// Adversary specs under which the protocol MAY violate termination
-  /// (the Appendix A HotStuff demo, and the no-query-path ablation of
+/// One run, fully specified: the parameters plus an optional trace sink.
+/// Implicitly constructible from CommonParams so every pre-trace call
+/// site (`info.run(params)`) keeps working and runs untraced.
+struct RunRequest {
+  CommonParams params;
+  /// Optional event sink, not owned; nullptr = no tracing. Attaching a
+  /// sink never changes the run's results (sinks are pure observers).
+  trace::TraceSink* trace = nullptr;
+
+  RunRequest() = default;
+  RunRequest(const CommonParams& p) : params(p) {}  // NOLINT: implicit
+  RunRequest(const CommonParams& p, trace::TraceSink* sink)
+      : params(p), trace(sink) {}
+};
+
+/// Which adversary specs a protocol runs against, and which of them are
+/// allowed to break termination. Every protocol additionally accepts the
+/// generic fault-schedule grammar ("sched:..." / "fuzz[:k]").
+struct AdversaryPolicy {
+  /// Named strategy specs this protocol's driver implements.
+  std::vector<std::string> named;
+  /// Named specs under which the protocol MAY violate termination (the
+  /// Appendix A HotStuff demo, and the no-query-path ablation of
   /// Algorithm 4). Consistency and validity must still hold.
-  std::vector<std::string> known_liveness_failures;
+  std::vector<std::string> liveness_failures;
   /// True if the protocol may miss commits under ARBITRARY "sched:..." /
   /// "fuzz" fault schedules (no fallback path: a silenced or selective
   /// node it depends on permanently starves progress). Consistency and
   /// validity must still hold under any budget-respecting schedule.
   bool sched_may_stall = false;
+
+  /// True if `spec` is runnable: a named spec or any schedule spec.
+  bool accepts(const std::string& spec) const;
+  /// True if a run under `spec` is allowed to stall.
+  bool may_stall(const std::string& spec) const;
+};
+
+struct ProtocolInfo {
+  std::string name;
+  std::string table1_row;  ///< which Table 1 row this reproduces
+  AdversaryPolicy policy;  ///< accepted adversary specs + stall policy
+  /// Largest f this protocol supports for a given n.
+  std::function<std::uint32_t(std::uint32_t n)> max_f;
+  std::function<RunResult(const RunRequest&)> run;
 };
 
 const std::vector<ProtocolInfo>& protocols();
 const ProtocolInfo& protocol(const std::string& name);
 
-/// True if `spec` is runnable against this protocol: either one of the
-/// protocol's named adversaries, or a generic fault-schedule spec
-/// ("sched:..." / "fuzz[:k]"), which every registry protocol accepts.
+/// Convenience forwarders to info.policy.
 bool accepts_adversary(const ProtocolInfo& info, const std::string& spec);
-
-/// True if a run of this protocol under `spec` is allowed to stall
-/// (known_liveness_failures for named specs, sched_may_stall for
-/// schedule specs).
 bool may_stall(const ProtocolInfo& info, const std::string& spec);
 
 }  // namespace ambb

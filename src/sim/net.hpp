@@ -37,6 +37,7 @@
 #include "common/types.hpp"
 #include "sim/cost.hpp"
 #include "sim/stats.hpp"
+#include "trace/trace.hpp"
 
 namespace ambb {
 
@@ -292,6 +293,13 @@ class Simulation final : CorruptionCtl<Msg> {
     for (NodeId v : adversary_->initial_corruptions()) do_corrupt(v);
   }
 
+  /// Attach a trace sink (may be nullptr). The simulator emits one
+  /// kRoundEnd per step() plus a kAdversaryAction for every corruption
+  /// and erasure; attach BEFORE bind_adversary so initial corruptions
+  /// are traced too. Pure observation: the execution is bit-identical
+  /// with or without a sink.
+  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
   Round now() const { return round_; }
 
   /// Introspection for tests: the actor currently installed for `node`
@@ -314,6 +322,10 @@ class Simulation final : CorruptionCtl<Msg> {
 
   /// One RoundStats per executed round.
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
+
+  /// Running aggregate of all executed rounds, folded via accumulate()
+  /// as each step() completes (same totals as summarize(round_stats())).
+  const RoundStatsSummary& summary() const { return summary_; }
 
   /// Execute one lock-step round.
   void step() {
@@ -424,7 +436,15 @@ class Simulation final : CorruptionCtl<Msg> {
     st.ns_adversary = ns(t2, t3);
     st.ns_accounting = ns(t3, t4);
     st.ns_delivery = ns(t4, t5);
+    accumulate(summary_, st);
     round_stats_.push_back(st);
+    {
+      trace::Event ev;
+      ev.kind = trace::EventKind::kRoundEnd;
+      ev.round = st.round;
+      ev.stats = st;
+      trace::emit(trace_, ev);
+    }
 
     std::swap(cur_, prev_);
     ++round_;
@@ -451,6 +471,13 @@ class Simulation final : CorruptionCtl<Msg> {
     AMBB_CHECK_MSG(corrupt_[rec.from],
                    "after-the-fact removal requires a corrupt sender");
     erased_.push_back(delivery_index);
+    trace::Event ev;
+    ev.kind = trace::EventKind::kAdversaryAction;
+    ev.round = round_;
+    ev.node = rec.from;
+    ev.count = delivery_index;
+    ev.detail = "erase";
+    trace::emit(trace_, ev);
   }
 
   void do_corrupt(NodeId node) {
@@ -461,6 +488,12 @@ class Simulation final : CorruptionCtl<Msg> {
     ++corrupt_count_;
     AMBB_CHECK(adversary_ != nullptr);
     actors_[node] = adversary_->actor_for(node);
+    trace::Event ev;
+    ev.kind = trace::EventKind::kAdversaryAction;
+    ev.round = round_;
+    ev.node = node;
+    ev.detail = "corrupt";
+    trace::emit(trace_, ev);
   }
 
   std::uint32_t n_;
@@ -480,6 +513,8 @@ class Simulation final : CorruptionCtl<Msg> {
   /// Delivery indices erased this round (sorted + deduped after step 3).
   std::vector<std::size_t> erased_;
   std::vector<RoundStats> round_stats_;
+  RoundStatsSummary summary_;
+  trace::TraceSink* trace_ = nullptr;
 };
 
 }  // namespace ambb

@@ -1,0 +1,102 @@
+#include "trace/trace.hpp"
+
+namespace ambb::trace {
+
+const char* event_kind_name(EventKind k) {
+  switch (k) {
+    case EventKind::kSlotStart: return "slot-start";
+    case EventKind::kSlotCommit: return "slot-commit";
+    case EventKind::kEpochPhase: return "epoch-phase";
+    case EventKind::kAccusation: return "accusation";
+    case EventKind::kTrustEdgeRemoved: return "trust-edge-removed";
+    case EventKind::kCorruptVote: return "corrupt-vote";
+    case EventKind::kCertFormed: return "cert-formed";
+    case EventKind::kAdversaryAction: return "adversary-action";
+    case EventKind::kRoundEnd: return "round-end";
+  }
+  return "?";
+}
+
+namespace {
+
+void field(std::ostream& os, const char* key, std::uint64_t v,
+           bool* first) {
+  os << (*first ? "" : ",") << '"' << key << "\":" << v;
+  *first = false;
+}
+
+void field_str(std::ostream& os, const char* key, const char* v,
+               bool* first) {
+  os << (*first ? "" : ",") << '"' << key << "\":\"" << v << '"';
+  *first = false;
+}
+
+}  // namespace
+
+void to_jsonl(std::ostream& os, const Event& e) {
+  bool first = true;
+  os << '{';
+  field_str(os, "e", event_kind_name(e.kind), &first);
+  field(os, "r", e.round, &first);
+  switch (e.kind) {
+    case EventKind::kSlotStart:
+      field(os, "k", e.slot, &first);
+      field(os, "node", e.node, &first);
+      break;
+    case EventKind::kSlotCommit:
+      field(os, "k", e.slot, &first);
+      field(os, "ep", e.epoch, &first);
+      field(os, "node", e.node, &first);
+      field(os, "value", e.value, &first);
+      break;
+    case EventKind::kEpochPhase:
+      field(os, "k", e.slot, &first);
+      field(os, "ep", e.epoch, &first);
+      if (e.node != kNoNode) field(os, "node", e.node, &first);
+      field_str(os, "detail", e.detail, &first);
+      break;
+    case EventKind::kAccusation:
+      field(os, "k", e.slot, &first);
+      field(os, "node", e.node, &first);
+      field(os, "subject", e.subject, &first);
+      break;
+    case EventKind::kTrustEdgeRemoved:
+      field(os, "k", e.slot, &first);
+      field(os, "node", e.node, &first);
+      field(os, "subject", e.subject, &first);
+      if (e.peer != kNoNode) field(os, "peer", e.peer, &first);
+      field_str(os, "detail", e.detail, &first);
+      break;
+    case EventKind::kCorruptVote:
+      field(os, "k", e.slot, &first);
+      field(os, "node", e.node, &first);
+      field(os, "subject", e.subject, &first);
+      break;
+    case EventKind::kCertFormed:
+      field(os, "k", e.slot, &first);
+      field(os, "ep", e.epoch, &first);
+      field(os, "node", e.node, &first);
+      if (e.subject != kNoNode) field(os, "subject", e.subject, &first);
+      field(os, "value", e.value, &first);
+      field_str(os, "detail", e.detail, &first);
+      break;
+    case EventKind::kAdversaryAction:
+      field(os, "node", e.node, &first);
+      field_str(os, "detail", e.detail, &first);
+      field(os, "count", e.count, &first);
+      break;
+    case EventKind::kRoundEnd:
+      // Deterministic counters only — ns_* wall-clock timers are
+      // intentionally absent so goldens stay byte-identical.
+      field(os, "records", e.stats.records, &first);
+      field(os, "deliveries", e.stats.deliveries, &first);
+      field(os, "honest_bits", e.stats.honest_bits, &first);
+      field(os, "adversary_bits", e.stats.adversary_bits, &first);
+      field(os, "erasures", e.stats.erasures, &first);
+      field(os, "corruptions", e.stats.corruptions, &first);
+      break;
+  }
+  os << '}';
+}
+
+}  // namespace ambb::trace

@@ -18,7 +18,7 @@ using Param = std::tuple<std::string /*protocol*/, std::string /*adv*/,
 std::vector<Param> all_params() {
   std::vector<Param> out;
   for (const auto& p : protocols()) {
-    for (const auto& adv : p.adversaries) {
+    for (const auto& adv : p.policy.named) {
       for (std::uint64_t seed : {1ull, 42ull}) {
         out.emplace_back(p.name, adv, seed);
       }
@@ -44,11 +44,7 @@ TEST_P(AllProtocols, Definition2Properties) {
   EXPECT_EQ(check_consistency(r), std::vector<std::string>{});
   EXPECT_EQ(check_validity(r), std::vector<std::string>{});
 
-  const bool may_stall =
-      std::find(info.known_liveness_failures.begin(),
-                info.known_liveness_failures.end(),
-                adv) != info.known_liveness_failures.end();
-  if (!may_stall) {
+  if (!info.policy.may_stall(adv)) {
     EXPECT_EQ(check_termination(r), std::vector<std::string>{});
   }
   // The guaranteed stalls (hotstuff/selective with corrupt leaders;
@@ -70,11 +66,7 @@ TEST_P(AllProtocols, MaxFaultToleranceHolds) {
   EXPECT_EQ(check_consistency(r), std::vector<std::string>{})
       << name << "/" << adv << " at f=" << p.f;
   EXPECT_EQ(check_validity(r), std::vector<std::string>{});
-  const bool may_stall =
-      std::find(info.known_liveness_failures.begin(),
-                info.known_liveness_failures.end(),
-                adv) != info.known_liveness_failures.end();
-  if (!may_stall) {
+  if (!info.policy.may_stall(adv)) {
     EXPECT_EQ(check_termination(r), std::vector<std::string>{})
         << name << "/" << adv << " at f=" << p.f;
   }
@@ -92,9 +84,7 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(AllProtocolsMeta, EveryProtocolHasNoneAdversary) {
   for (const auto& p : protocols()) {
-    EXPECT_NE(std::find(p.adversaries.begin(), p.adversaries.end(), "none"),
-              p.adversaries.end())
-        << p.name;
+    EXPECT_TRUE(p.policy.accepts("none")) << p.name;
   }
 }
 

@@ -145,7 +145,7 @@ TEST(SweepExpand, ScheduleSpecsExpandForEveryProtocol) {
     spec.adversaries = {"sched:corrupt(0,0);silence(0,0,*)", "fuzz"};
     const auto jobs = expand(spec);
     ASSERT_EQ(jobs.size(), 2u) << proto;
-    const bool stalls = protocol(proto).sched_may_stall;
+    const bool stalls = protocol(proto).policy.sched_may_stall;
     EXPECT_EQ(jobs[0].allow_stall, stalls) << proto;
     EXPECT_EQ(jobs[1].allow_stall, stalls) << proto;
   }

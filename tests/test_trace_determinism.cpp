@@ -1,0 +1,94 @@
+// Engine-level trace determinism: ambb_sweep --trace-dir writes one
+// JSONL file per job, named by SUBMISSION order — so running the same
+// sweep serially (--jobs 1) and on a worker pool (--jobs N) must produce
+// identical directory listings with byte-identical file contents. Each
+// job closure owns its own stream + sink, so this also exercises the
+// "parallel workers never share a sink" contract under TSan (this test
+// carries the `engine` label; scripts/ci.sh runs that suite thread-
+// sanitized).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/sweep.hpp"
+
+namespace ambb::engine {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<SweepJob> small_grid() {
+  SweepSpec spec;
+  spec.name = "det";
+  spec.protocol = "linear";
+  spec.ns = {8};
+  spec.fs = {2};
+  spec.slots_list = {4};
+  spec.adversaries = {"none", "mixed"};
+  spec.seed_begin = 1;
+  spec.seed_end = 2;
+  return expand(spec);
+}
+
+std::map<std::string, std::string> run_into(const std::string& dir,
+                                            unsigned jobs) {
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  Engine eng(jobs);
+  const auto outcomes = eng.run(to_engine_jobs(small_grid(), dir));
+  for (const auto& out : outcomes) EXPECT_TRUE(out.completed) << out.label;
+
+  std::map<std::string, std::string> files;  // name -> contents
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream text;
+    text << in.rdbuf();
+    files[entry.path().filename().string()] = text.str();
+  }
+  return files;
+}
+
+TEST(TraceDeterminism, SerialAndParallelTracesAreByteIdentical) {
+  const std::string base =
+      (fs::temp_directory_path() / "ambb_trace_determinism").string();
+  const auto serial = run_into(base + "_serial", 1);
+  const auto parallel = run_into(base + "_parallel", 4);
+
+  ASSERT_EQ(serial.size(), small_grid().size());
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (const auto& [name, contents] : serial) {
+    const auto it = parallel.find(name);
+    ASSERT_NE(it, parallel.end()) << "missing trace file " << name;
+    EXPECT_EQ(it->second, contents) << "trace drifted with --jobs: " << name;
+    EXPECT_FALSE(contents.empty()) << name;
+  }
+
+  fs::remove_all(base + "_serial");
+  fs::remove_all(base + "_parallel");
+}
+
+TEST(TraceDeterminism, TracePathNamesBySubmissionOrder) {
+  EXPECT_EQ(trace_path("out", 0, "linear/none/n8"),
+            "out/0000_linear-none-n8.jsonl");
+  EXPECT_EQ(trace_path("out", 37, "a b:c"), "out/0037_a-b-c.jsonl");
+}
+
+TEST(TraceDeterminism, EmptyTraceDirDegeneratesToPlainJobs) {
+  Engine eng(2);
+  const auto grid = small_grid();
+  const auto traced = eng.run(to_engine_jobs(grid, ""));
+  const auto plain = eng.run(to_engine_jobs(grid));
+  ASSERT_EQ(traced.size(), plain.size());
+  for (std::size_t i = 0; i < traced.size(); ++i) {
+    EXPECT_EQ(traced[i].result.honest_bits, plain[i].result.honest_bits);
+  }
+}
+
+}  // namespace
+}  // namespace ambb::engine

@@ -1,0 +1,62 @@
+// JSONL trace golden: the full event stream of one fixed linear run must
+// be byte-for-byte what is checked in under tests/golden/. The trace file
+// format is a determinism surface (sweep --trace-dir output is diffed
+// across machines and job counts), so any drift here is an API break:
+// either an execution changed (bad) or the serialization changed (bump
+// the golden deliberately, in the same commit as the format change).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/registry.hpp"
+#include "trace/trace.hpp"
+
+namespace ambb {
+namespace {
+
+CommonParams golden_params() {
+  CommonParams p;
+  p.n = 8;
+  p.f = 2;
+  p.slots = 4;
+  p.seed = 1;
+  p.adversary = "mixed";
+  return p;
+}
+
+std::string render_trace() {
+  std::ostringstream os;
+  trace::JsonlSink sink(os);
+  protocol("linear").run(RunRequest{golden_params(), &sink});
+  return os.str();
+}
+
+TEST(TraceGolden, LinearN8F2L4Seed1MatchesCheckedInFile) {
+  const std::string path =
+      std::string(AMBB_GOLDEN_DIR) + "/trace_linear_n8_f2_L4_seed1.jsonl";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+
+  const std::string got = render_trace();
+  ASSERT_FALSE(got.empty());
+  if (got != want.str()) {
+    // Locate the first diverging line for a readable failure message.
+    std::istringstream ga(got), wa(want.str());
+    std::string gl, wl;
+    std::size_t line = 1;
+    while (std::getline(ga, gl) && std::getline(wa, wl) && gl == wl) ++line;
+    FAIL() << "trace drifted from golden at line " << line << "\n  got:  "
+           << gl << "\n  want: " << wl;
+  }
+}
+
+TEST(TraceGolden, RenderingIsDeterministic) {
+  EXPECT_EQ(render_trace(), render_trace());
+}
+
+}  // namespace
+}  // namespace ambb

@@ -1,7 +1,7 @@
 // ambb_sweep — run declarative experiment sweeps on the parallel engine.
 //
 //   ambb_sweep --spec FILE [--jobs N] [--filter SUBSTR] [--out NAME]
-//              [--list]
+//              [--trace-dir DIR] [--list]
 //
 //   --spec FILE      sweep specification (format: src/engine/sweep.hpp)
 //   --jobs N         worker threads; 0 or omitted = one per hardware
@@ -9,6 +9,9 @@
 //                    way — that is the engine's determinism contract)
 //   --filter SUBSTR  keep only jobs whose label contains SUBSTR
 //   --out NAME       write BENCH_<NAME>.json (default: sweep)
+//   --trace-dir DIR  write one JSONL event trace per run into DIR
+//                    (created if missing); files are named by submission
+//                    order, so --jobs does not change names or contents
 //   --list           print the expanded job labels and exit
 //
 // Per-job failure isolation: a job that throws (AMBB_CHECK) or violates
@@ -18,6 +21,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -35,6 +39,7 @@ struct Cli {
   std::string spec_path;
   std::string filter;
   std::string out = "sweep";
+  std::string trace_dir;
   unsigned jobs = 0;
   bool list = false;
 };
@@ -42,7 +47,7 @@ struct Cli {
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ambb_sweep --spec FILE [--jobs N] [--filter SUBSTR] "
-               "[--out NAME] [--list]\n");
+               "[--out NAME] [--trace-dir DIR] [--list]\n");
 }
 
 bool parse_cli(int argc, char** argv, Cli& cli) {
@@ -71,6 +76,10 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
       const char* v = value();
       if (v == nullptr) return false;
       cli.out = v;
+    } else if (arg == "--trace-dir") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.trace_dir = v;
     } else if (arg == "--list") {
       cli.list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -128,13 +137,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!cli.trace_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(cli.trace_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "ambb_sweep: cannot create trace dir '%s': %s\n",
+                   cli.trace_dir.c_str(), ec.message().c_str());
+      return 2;
+    }
+  }
+
   const engine::Engine eng(cli.jobs);
   std::printf("ambb_sweep: %zu jobs on %u worker thread%s\n",
               sweep_jobs.size(), eng.jobs(), eng.jobs() == 1 ? "" : "s");
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<engine::JobOutcome> outcomes =
-      eng.run(engine::to_engine_jobs(sweep_jobs));
+      eng.run(engine::to_engine_jobs(sweep_jobs, cli.trace_dir));
   const double wall_ms_total = std::chrono::duration<double, std::milli>(
                                    std::chrono::steady_clock::now() - t0)
                                    .count();
@@ -181,6 +200,10 @@ int main(int argc, char** argv) {
                                wall_ms_total)) {
     std::printf("wrote %s (%zu runs, %u threads, %.1f ms total)\n",
                 path.c_str(), records.size(), eng.jobs(), wall_ms_total);
+    if (!cli.trace_dir.empty()) {
+      std::printf("wrote %zu event traces to %s/\n", sweep_jobs.size(),
+                  cli.trace_dir.c_str());
+    }
   } else {
     std::fprintf(stderr, "ambb_sweep: could not write %s\n", path.c_str());
     return 2;

@@ -1,0 +1,306 @@
+// ambb_trace — replay a single registry run with an event collector and
+// print a human-readable per-slot timeline plus a trust-graph /
+// accusation delta summary. The intended use is post-mortem: a sweep or
+// fuzz run flags a label, and this tool re-runs that one cell (same
+// params + seed = same execution) and explains *why* it behaved the way
+// it did — which faults fired, who accused whom, which trust edges died,
+// and where commits stopped.
+//
+//   ambb_trace --protocol NAME [--adversary SPEC] [--n N] [--f F]
+//              [--slots L] [--seed S] [--eps E] [--slot K]
+//              [--jsonl FILE]
+//
+//   --protocol NAME  registry protocol (required; see protocol_explorer)
+//   --adversary SPEC named strategy or "sched:..." / "fuzz[:k]" schedule
+//   --slot K         only print the timeline of slot K (summary stays)
+//   --jsonl FILE     also dump the raw deterministic JSONL event stream
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "runner/registry.hpp"
+#include "trace/trace.hpp"
+
+using namespace ambb;
+
+namespace {
+
+struct Cli {
+  std::string protocol;
+  std::string jsonl;
+  CommonParams params;
+  Slot only_slot = 0;  ///< 0 = all slots
+};
+
+void usage(std::FILE* to) {
+  std::fprintf(to,
+               "usage: ambb_trace --protocol NAME [--adversary SPEC] "
+               "[--n N] [--f F] [--slots L] [--seed S] [--eps E] "
+               "[--slot K] [--jsonl FILE]\n");
+}
+
+bool parse_cli(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ambb_trace: %s needs a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    }
+    if ((v = value()) == nullptr) return false;
+    if (arg == "--protocol") cli.protocol = v;
+    else if (arg == "--adversary") cli.params.adversary = v;
+    else if (arg == "--n") cli.params.n = static_cast<std::uint32_t>(std::atoi(v));
+    else if (arg == "--f") cli.params.f = static_cast<std::uint32_t>(std::atoi(v));
+    else if (arg == "--slots") cli.params.slots = static_cast<Slot>(std::atoi(v));
+    else if (arg == "--seed") cli.params.seed = static_cast<std::uint64_t>(std::atoll(v));
+    else if (arg == "--eps") cli.params.eps = std::atof(v);
+    else if (arg == "--slot") cli.only_slot = static_cast<Slot>(std::atoi(v));
+    else if (arg == "--jsonl") cli.jsonl = v;
+    else {
+      std::fprintf(stderr, "ambb_trace: unknown argument '%s'\n", arg.c_str());
+      return false;
+    }
+  }
+  if (cli.protocol.empty()) {
+    std::fprintf(stderr, "ambb_trace: --protocol is required\n");
+    return false;
+  }
+  return true;
+}
+
+const char* node_mark(const RunResult& r, NodeId v) {
+  return v < r.corrupt.size() && r.corrupt[v] ? "*" : "";
+}
+
+/// Per-slot tallies of the protocol-detection events, for the delta
+/// summary at the bottom of the report.
+struct SlotDelta {
+  std::size_t accusations = 0;
+  std::size_t edges_removed = 0;
+  std::size_t corrupt_votes = 0;
+  std::size_t adversary_actions = 0;
+  std::size_t commits = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_cli(argc, argv, cli)) {
+    usage(stderr);
+    return 2;
+  }
+
+  const ProtocolInfo& info = protocol(cli.protocol);
+  if (!info.policy.accepts(cli.params.adversary)) {
+    std::fprintf(stderr, "ambb_trace: protocol '%s' does not accept "
+                 "adversary '%s'\n",
+                 cli.protocol.c_str(), cli.params.adversary.c_str());
+    return 2;
+  }
+
+  trace::CollectorSink sink;
+  RunResult r;
+  try {
+    r = info.run(RunRequest{cli.params, &sink});
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "ambb_trace: run failed: %s\n", e.what());
+    return 1;
+  }
+
+  if (!cli.jsonl.empty()) {
+    std::ofstream os(cli.jsonl, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      std::fprintf(stderr, "ambb_trace: cannot write '%s'\n",
+                   cli.jsonl.c_str());
+      return 2;
+    }
+    for (const trace::Event& e : sink.events()) {
+      trace::to_jsonl(os, e);
+      os << '\n';
+    }
+  }
+
+  std::printf("%s / %s  n=%u f=%u L=%u seed=%llu  (%zu events, "
+              "* = corrupt)\n\n",
+              cli.protocol.c_str(), cli.params.adversary.c_str(), r.n, r.f,
+              r.slots, static_cast<unsigned long long>(cli.params.seed),
+              sink.events().size());
+
+  // ---- per-slot timeline -------------------------------------------------
+  // Events arrive in program order; kSlotStart opens a slot section.
+  // Same-round commits on the same value collapse into one line.
+  std::map<Slot, SlotDelta> deltas;
+  Slot cur = 0;
+  bool printing = false;
+  const auto& events = sink.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const trace::Event& e = events[i];
+    if (e.kind == trace::EventKind::kRoundEnd) continue;
+    if (e.kind == trace::EventKind::kSlotStart) {
+      cur = e.slot;
+      printing = cli.only_slot == 0 || cli.only_slot == cur;
+      if (printing) {
+        std::printf("slot %u  (round %llu, sender %u%s)\n", e.slot,
+                    static_cast<unsigned long long>(e.round), e.node,
+                    node_mark(r, e.node));
+      }
+      continue;
+    }
+
+    SlotDelta& d = deltas[e.kind == trace::EventKind::kAdversaryAction
+                              ? cur
+                              : e.slot];
+    switch (e.kind) {
+      case trace::EventKind::kAccusation: ++d.accusations; break;
+      case trace::EventKind::kTrustEdgeRemoved: ++d.edges_removed; break;
+      case trace::EventKind::kCorruptVote: ++d.corrupt_votes; break;
+      case trace::EventKind::kAdversaryAction: ++d.adversary_actions; break;
+      case trace::EventKind::kSlotCommit: ++d.commits; break;
+      default: break;
+    }
+    if (!printing) continue;
+
+    switch (e.kind) {
+      case trace::EventKind::kEpochPhase: {
+        char who[32] = "";
+        if (e.node != kNoNode) {
+          std::snprintf(who, sizeof who, ", node %u", e.node);
+        }
+        std::printf("  r%-5llu phase %s (ep %u%s)\n",
+                    static_cast<unsigned long long>(e.round), e.detail,
+                    e.epoch, who);
+        break;
+      }
+      case trace::EventKind::kAccusation:
+        std::printf("  r%-5llu node %u%s accuses %u%s\n",
+                    static_cast<unsigned long long>(e.round), e.node,
+                    node_mark(r, e.node), e.subject,
+                    node_mark(r, e.subject));
+        break;
+      case trace::EventKind::kTrustEdgeRemoved:
+        if (e.peer != kNoNode) {
+          std::printf("  r%-5llu node %u%s drops trust edge (%u%s, %u%s) "
+                      "[%s]\n",
+                      static_cast<unsigned long long>(e.round), e.node,
+                      node_mark(r, e.node), e.subject,
+                      node_mark(r, e.subject), e.peer, node_mark(r, e.peer),
+                      e.detail);
+        } else {
+          std::printf("  r%-5llu node %u%s removes vertex %u%s [%s]\n",
+                      static_cast<unsigned long long>(e.round), e.node,
+                      node_mark(r, e.node), e.subject,
+                      node_mark(r, e.subject), e.detail);
+        }
+        break;
+      case trace::EventKind::kCorruptVote:
+        std::printf("  r%-5llu node %u%s votes <corrupt, %u%s>\n",
+                    static_cast<unsigned long long>(e.round), e.node,
+                    node_mark(r, e.node), e.subject,
+                    node_mark(r, e.subject));
+        break;
+      case trace::EventKind::kCertFormed:
+        std::printf("  r%-5llu node %u%s forms %s (ep %u, value 0x%llx)\n",
+                    static_cast<unsigned long long>(e.round), e.node,
+                    node_mark(r, e.node), e.detail, e.epoch,
+                    static_cast<unsigned long long>(e.value));
+        break;
+      case trace::EventKind::kAdversaryAction: {
+        char cbuf[32];
+        if (e.count == std::numeric_limits<std::uint64_t>::max()) {
+          std::snprintf(cbuf, sizeof cbuf, "all");  // unbounded sentinel
+        } else {
+          std::snprintf(cbuf, sizeof cbuf, "%llu",
+                        static_cast<unsigned long long>(e.count));
+        }
+        std::printf("  r%-5llu ADVERSARY %s node %u (count %s)\n",
+                    static_cast<unsigned long long>(e.round), e.detail,
+                    e.node, cbuf);
+        break;
+      }
+      case trace::EventKind::kSlotCommit: {
+        // Collapse the burst: count commits sharing (round, value).
+        std::size_t burst = 1;
+        while (i + 1 < events.size() &&
+               events[i + 1].kind == trace::EventKind::kSlotCommit &&
+               events[i + 1].round == e.round &&
+               events[i + 1].slot == e.slot &&
+               events[i + 1].value == e.value) {
+          ++i;
+          ++burst;
+          ++deltas[e.slot].commits;
+        }
+        char vbuf[32];
+        if (e.value == kBotValue) {
+          std::snprintf(vbuf, sizeof vbuf, "bot");
+        } else {
+          std::snprintf(vbuf, sizeof vbuf, "0x%llx",
+                        static_cast<unsigned long long>(e.value));
+        }
+        std::printf("  r%-5llu %zu node%s commit %s\n",
+                    static_cast<unsigned long long>(e.round), burst,
+                    burst == 1 ? "" : "s", vbuf);
+        break;
+      }
+      default: break;
+    }
+  }
+
+  // ---- trust-graph / accusation delta summary ----------------------------
+  std::printf("\nper-slot deltas (accusations / edge removals / corrupt "
+              "votes / adversary actions / commits):\n");
+  std::size_t honest = 0;
+  for (NodeId v = 0; v < r.n; ++v) honest += r.corrupt[v] ? 0 : 1;
+  bool any_stall = false;
+  for (Slot k = 1; k <= r.slots; ++k) {
+    const SlotDelta d = deltas.count(k) ? deltas[k] : SlotDelta{};
+    std::size_t honest_commits = 0;
+    for (NodeId v = 0; v < r.n; ++v) {
+      if (!r.corrupt[v] && r.commits.has(v, k)) ++honest_commits;
+    }
+    const bool stalled = honest_commits < honest;
+    any_stall |= stalled;
+    std::printf("  slot %-3u +%zu acc  +%zu edges  +%zu votes  +%zu adv  "
+                "%zu commits%s\n",
+                k, d.accusations, d.edges_removed, d.corrupt_votes,
+                d.adversary_actions, d.commits,
+                stalled ? "  <- STALLED" : "");
+    if (stalled) {
+      std::printf("           (%zu/%zu honest nodes committed; missing:",
+                  honest_commits, honest);
+      for (NodeId v = 0; v < r.n; ++v) {
+        if (!r.corrupt[v] && !r.commits.has(v, k)) std::printf(" %u", v);
+      }
+      std::printf(")\n");
+    }
+  }
+
+  std::size_t acc = 0, edges = 0, votes = 0, adv = 0;
+  for (const auto& [k, d] : deltas) {
+    acc += d.accusations;
+    edges += d.edges_removed;
+    votes += d.corrupt_votes;
+    adv += d.adversary_actions;
+  }
+  std::printf("\ntotals: %zu accusations, %zu trust-edge removals, "
+              "%zu corrupt votes, %zu adversary actions over %llu rounds\n",
+              acc, edges, votes, adv,
+              static_cast<unsigned long long>(r.rounds));
+  if (any_stall) std::printf("liveness: at least one slot stalled\n");
+  return 0;
+}
