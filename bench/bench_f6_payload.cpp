@@ -1,0 +1,132 @@
+// Experiment F6-payload — DESIGN.md §13 / NRSX extension claim: for an
+// L-byte broadcast payload the extension protocol pays O(L n / k) bits
+// of coded dispersal plus a payload-independent kappa-sized base-BB
+// phase, while carrying L inline multiplies EVERY base message by 8L.
+// Sweeping L over decades therefore shows the two designs crossing
+// over: raw wins for tiny payloads (dispersal overhead dominates), ext
+// wins beyond a crossover at a few KiB and ends up an order of
+// magnitude cheaper at the top of the sweep.
+//
+// Measured pairs: ext:linear vs linear (Algorithm 4 as base) and
+// ext:dolev-strong vs dolev-strong. All runs are property-checked by
+// the engine; exact bit accounting comes from the shared WireModel (the
+// dispersal messages price header + chunk + Merkle path + root, the
+// base phase prices kappa-bit digests).
+#include "bench_common.hpp"
+
+#include <cinttypes>
+
+namespace ambb::bench {
+namespace {
+
+constexpr std::uint64_t kPayloads[] = {64, 512, 4096, 32768, 262144};
+
+struct Pair {
+  const char* ext;
+  const char* raw;
+};
+constexpr Pair kPairs[] = {
+    {"ext:linear", "linear"},
+    {"ext:dolev-strong", "dolev-strong"},
+};
+
+CommonParams cell_params(std::uint64_t payload, bool is_ext) {
+  CommonParams p;
+  p.n = 16;
+  p.f = 4;
+  p.slots = 4;
+  p.seed = 1;
+  p.payload_bytes = payload;
+  // Raw baseline: the payload travels inline in every protocol message
+  // (same mapping as the sweep layer's payload axis).
+  if (!is_ext) p.value_bits = static_cast<std::uint32_t>(8 * payload);
+  return p;
+}
+
+void run_table() {
+  print_header(
+      "F6-payload / DESIGN.md §13: long-message extension vs inline payloads",
+      "coded dispersal pays O(ln/k) + kappa-sized base traffic; carrying l "
+      "inline pays l times the base message count — ext wins past a "
+      "crossover of a few KiB");
+
+  // One engine batch over the full grid: pair-major, payload-minor, ext
+  // before raw — the submission order is the reporting order.
+  std::vector<Job> jobs;
+  for (const Pair& pr : kPairs) {
+    for (std::uint64_t payload : kPayloads) {
+      jobs.push_back(registry_job(
+          pr.ext, cell_params(payload, true),
+          std::string(pr.ext) + "/p" + std::to_string(payload)));
+      jobs.push_back(registry_job(
+          pr.raw, cell_params(payload, false),
+          std::string(pr.raw) + "/p" + std::to_string(payload)));
+    }
+  }
+  const std::vector<RunResult> results = run_jobs(jobs);
+
+  std::size_t idx = 0;
+  for (const Pair& pr : kPairs) {
+    TextTable t({"payload bytes", "ext total bits", "raw total bits",
+                 "ext/raw", "ext amortized", "raw amortized"});
+    std::uint64_t crossover = 0;
+    for (std::uint64_t payload : kPayloads) {
+      const RunResult& ext_r = results[idx++];
+      const RunResult& raw_r = results[idx++];
+      const double ratio =
+          raw_r.honest_bits == 0
+              ? 0.0
+              : static_cast<double>(ext_r.honest_bits) /
+                    static_cast<double>(raw_r.honest_bits);
+      if (crossover == 0 && ext_r.honest_bits < raw_r.honest_bits) {
+        crossover = payload;
+      }
+      t.add_row({std::to_string(payload), std::to_string(ext_r.honest_bits),
+                 std::to_string(raw_r.honest_bits), TextTable::num(ratio, 3),
+                 TextTable::num(ext_r.amortized(), 0),
+                 TextTable::num(raw_r.amortized(), 0)});
+    }
+    std::printf("\n%s vs %s  (n=16, f=4, L=4 slots, seed 1):\n", pr.ext,
+                pr.raw);
+    std::printf("%s", t.render().c_str());
+    if (crossover != 0) {
+      std::printf("crossover: ext:%s is cheaper than inline %s from "
+                  "%" PRIu64 "-byte payloads on\n",
+                  pr.raw, pr.raw, crossover);
+    } else {
+      // The claim under test failed; fail the binary like any other
+      // violated property.
+      std::printf("!! no crossover observed — ext never beat the raw "
+                  "baseline\n");
+      ++state().violations;
+    }
+  }
+  std::printf(
+      "\nReading: the ext/raw column falls with payload size — dispersal "
+      "sends each byte ~n/k times total while\nthe inline baseline "
+      "re-sends the payload in every protocol message; the base-phase "
+      "digest traffic ext pays is\npayload-independent, which is the flat "
+      "overhead that raw undercuts at the smallest payloads.\n");
+}
+
+void BM_ExtLinearPayload(::benchmark::State& st) {
+  const auto payload = static_cast<std::uint64_t>(st.range(0));
+  CommonParams p = cell_params(payload, true);
+  for (auto _ : st) {
+    ::benchmark::DoNotOptimize(
+        registry_run("ext:linear", p).honest_bits);
+    ++p.seed;  // fresh execution per iteration
+  }
+}
+BENCHMARK(BM_ExtLinearPayload)->Arg(4096)->Arg(65536)
+    ->Unit(::benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ambb::bench
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  ambb::bench::run_table();
+  return ambb::bench::finish_bench("f6_payload");
+}

@@ -5,8 +5,8 @@
 #   scripts/ci.sh tier1    # only the tier-1 build + full test suite
 #   scripts/ci.sh trace    # only the trace suite (`ctest -L trace`) + a
 #                          # sweep --trace-dir smoke run
-#   scripts/ci.sh tsan     # only the TSan build + `ctest -L engine`
-#   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine"`
+#   scripts/ci.sh tsan     # only the TSan build + `ctest -L "engine|ext"`
+#   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine|ext"`
 #
 # The TSan stage rebuilds into build-tsan/ (see CMakePresets.json) and runs
 # exactly the engine-labelled tests: they exercise the worker pool with
@@ -25,6 +25,11 @@
 # mid-run actor replacement, staggered-release buffers) are exactly where
 # a stale Delivery pointer or index overflow would hide, and the
 # fuzz-schedule tests drive them through hundreds of random compositions.
+#
+# Both sanitizer stages also take the ext suite (erasure coder, Merkle
+# proofs, the long-message extension driver): GF(2^8) table indexing and
+# the nested base-family simulation inside each ext cell are prime
+# out-of-bounds / shared-state candidates.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -52,6 +57,10 @@ trace() {
       --spec "$OLDPWD/tools/specs/f2_scaling.spec" \
       --filter alg4 --trace-dir traces)
   ls "$dir"/traces/*.jsonl >/dev/null
+  echo "== trace: payload-scaling sweep smoke =="
+  (cd "$dir" && "$OLDPWD/build/tools/ambb_sweep" \
+      --spec "$OLDPWD/tools/specs/payload_scaling.spec" \
+      --filter ext-lin --out payload_smoke)
   rm -rf "$dir"
 }
 
@@ -59,7 +68,7 @@ tsan() {
   echo "== tsan: configure + build =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"
-  echo "== tsan: ctest -L engine =="
+  echo "== tsan: ctest -L 'engine|ext' =="
   # halt_on_error promotes any race report to a test failure.
   TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j "$jobs"
 }
@@ -68,7 +77,7 @@ asan() {
   echo "== asan: configure + build =="
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
-  echo "== asan: ctest -L 'adversary|engine' =="
+  echo "== asan: ctest -L 'adversary|engine|ext' =="
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --preset asan -j "$jobs"

@@ -1,0 +1,79 @@
+#include "crypto/merkle.hpp"
+
+#include "common/check.hpp"
+
+namespace ambb::merkle {
+
+Digest leaf_hash(std::uint32_t index, std::span<const std::uint8_t> chunk) {
+  Sha256 h;
+  std::uint8_t prefix[5];
+  prefix[0] = 0x00;
+  prefix[1] = static_cast<std::uint8_t>(index >> 24);
+  prefix[2] = static_cast<std::uint8_t>(index >> 16);
+  prefix[3] = static_cast<std::uint8_t>(index >> 8);
+  prefix[4] = static_cast<std::uint8_t>(index);
+  h.update(std::span<const std::uint8_t>(prefix, 5));
+  h.update(chunk);
+  return h.finalize();
+}
+
+Digest node_hash(const Digest& left, const Digest& right) {
+  Sha256 h;
+  const std::uint8_t prefix = 0x01;
+  h.update(std::span<const std::uint8_t>(&prefix, 1));
+  h.update(std::span<const std::uint8_t>(left.data(), left.size()));
+  h.update(std::span<const std::uint8_t>(right.data(), right.size()));
+  return h.finalize();
+}
+
+Tree Tree::build(const std::vector<Digest>& leaves) {
+  AMBB_CHECK_MSG(!leaves.empty(), "merkle::Tree over zero leaves");
+  Tree t;
+  t.n_leaves_ = static_cast<std::uint32_t>(leaves.size());
+  std::size_t width = 1;
+  while (width < leaves.size()) width *= 2;
+  std::vector<Digest> level(width, Digest{});  // zero-digest padding
+  for (std::size_t i = 0; i < leaves.size(); ++i) level[i] = leaves[i];
+  t.levels_.push_back(std::move(level));
+  while (t.levels_.back().size() > 1) {
+    const std::vector<Digest>& below = t.levels_.back();
+    std::vector<Digest> above(below.size() / 2);
+    for (std::size_t i = 0; i < above.size(); ++i) {
+      above[i] = node_hash(below[2 * i], below[2 * i + 1]);
+    }
+    t.levels_.push_back(std::move(above));
+  }
+  return t;
+}
+
+Path Tree::prove(std::uint32_t index) const {
+  AMBB_CHECK_MSG(index < n_leaves_, "merkle::prove index out of range");
+  Path path;
+  std::size_t i = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    path.push_back(levels_[lvl][i ^ 1]);
+    i /= 2;
+  }
+  return path;
+}
+
+bool verify(const Digest& root, std::uint32_t n_leaves, std::uint32_t index,
+            const Digest& leaf, const Path& path) {
+  if (n_leaves == 0 || index >= n_leaves) return false;
+  std::size_t width = 1;
+  std::size_t depth = 0;
+  while (width < n_leaves) {
+    width *= 2;
+    ++depth;
+  }
+  if (path.size() != depth) return false;
+  Digest acc = leaf;
+  std::size_t i = index;
+  for (const Digest& sibling : path) {
+    acc = (i & 1) ? node_hash(sibling, acc) : node_hash(acc, sibling);
+    i /= 2;
+  }
+  return acc == root;
+}
+
+}  // namespace ambb::merkle

@@ -1,0 +1,163 @@
+#include "crypto/rs_code.hpp"
+
+#include <array>
+
+#include "common/check.hpp"
+
+namespace ambb::rs {
+
+namespace {
+
+/// GF(2^8) with the AES-adjacent primitive polynomial x^8+x^4+x^3+x^2+1
+/// (0x11d), the conventional choice for RS erasure codes. exp_ is doubled
+/// so mul never reduces mod 255 explicitly.
+struct GF256 {
+  std::array<std::uint8_t, 512> exp_{};
+  std::array<std::uint8_t, 256> log_{};
+
+  GF256() {
+    std::uint32_t x = 1;
+    for (std::uint32_t i = 0; i < 255; ++i) {
+      exp_[i] = static_cast<std::uint8_t>(x);
+      log_[x] = static_cast<std::uint8_t>(i);
+      x <<= 1;
+      if (x & 0x100u) x ^= 0x11du;
+    }
+    for (std::uint32_t i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+  }
+
+  std::uint8_t mul(std::uint8_t a, std::uint8_t b) const {
+    if (a == 0 || b == 0) return 0;
+    return exp_[static_cast<std::uint32_t>(log_[a]) + log_[b]];
+  }
+
+  std::uint8_t inv(std::uint8_t a) const {
+    AMBB_CHECK_MSG(a != 0, "GF(256) inverse of zero");
+    return exp_[255 - log_[a]];
+  }
+};
+
+const GF256& gf() {
+  static const GF256 kField;
+  return kField;
+}
+
+/// Lagrange coefficients for evaluating at `target` the degree-<k
+/// polynomial through points xs[0..k): coeff[j] = prod_{m != j}
+/// (target ^ xs[m]) / (xs[j] ^ xs[m]). Addition in GF(2^8) is XOR, so
+/// the points enter as plain byte values.
+std::vector<std::uint8_t> lagrange_row(const std::vector<std::uint8_t>& xs,
+                                       std::uint8_t target) {
+  const GF256& f = gf();
+  std::vector<std::uint8_t> coeff(xs.size());
+  for (std::size_t j = 0; j < xs.size(); ++j) {
+    std::uint8_t num = 1;
+    std::uint8_t den = 1;
+    for (std::size_t m = 0; m < xs.size(); ++m) {
+      if (m == j) continue;
+      num = f.mul(num, static_cast<std::uint8_t>(target ^ xs[m]));
+      den = f.mul(den, static_cast<std::uint8_t>(xs[j] ^ xs[m]));
+    }
+    coeff[j] = f.mul(num, f.inv(den));
+  }
+  return coeff;
+}
+
+}  // namespace
+
+std::size_t chunk_bytes(std::size_t len, std::uint32_t k) {
+  AMBB_CHECK(k >= 1);
+  if (len == 0) return 1;
+  return (len + k - 1) / k;
+}
+
+std::vector<std::vector<std::uint8_t>> encode(
+    std::span<const std::uint8_t> data, std::uint32_t n, std::uint32_t k) {
+  AMBB_CHECK_MSG(1 <= k && k <= n && n <= 256,
+                 "rs::encode needs 1 <= k <= n <= 256, got n=" << n
+                                                              << " k=" << k);
+  const std::size_t clen = chunk_bytes(data.size(), k);
+  std::vector<std::vector<std::uint8_t>> chunks(
+      n, std::vector<std::uint8_t>(clen, 0));
+  // Systematic part: chunk i is data[i*clen .. (i+1)*clen), zero-padded.
+  for (std::uint32_t i = 0; i < k; ++i) {
+    for (std::size_t t = 0; t < clen; ++t) {
+      const std::size_t pos = static_cast<std::size_t>(i) * clen + t;
+      if (pos < data.size()) chunks[i][t] = data[pos];
+    }
+  }
+  if (n == k) return chunks;
+  const GF256& f = gf();
+  std::vector<std::uint8_t> xs(k);
+  for (std::uint32_t j = 0; j < k; ++j) xs[j] = static_cast<std::uint8_t>(j);
+  for (std::uint32_t i = k; i < n; ++i) {
+    const std::vector<std::uint8_t> coeff =
+        lagrange_row(xs, static_cast<std::uint8_t>(i));
+    for (std::size_t t = 0; t < clen; ++t) {
+      std::uint8_t acc = 0;
+      for (std::uint32_t j = 0; j < k; ++j) {
+        acc = static_cast<std::uint8_t>(acc ^ f.mul(coeff[j], chunks[j][t]));
+      }
+      chunks[i][t] = acc;
+    }
+  }
+  return chunks;
+}
+
+std::vector<std::uint8_t> reconstruct(const std::vector<Chunk>& chunks,
+                                      std::uint32_t n, std::uint32_t k,
+                                      std::size_t len) {
+  AMBB_CHECK_MSG(1 <= k && k <= n && n <= 256,
+                 "rs::reconstruct needs 1 <= k <= n <= 256");
+  const std::size_t clen = chunk_bytes(len, k);
+  // First k distinct, well-formed columns.
+  std::vector<std::uint8_t> xs;
+  std::vector<const std::vector<std::uint8_t>*> ys;
+  std::vector<bool> seen(n, false);
+  for (const Chunk& c : chunks) {
+    if (xs.size() == k) break;
+    AMBB_CHECK_MSG(c.first < n, "rs::reconstruct: chunk index " << c.first
+                                                                << " >= n");
+    if (seen[c.first]) continue;
+    AMBB_CHECK_MSG(c.second.size() == clen,
+                   "rs::reconstruct: chunk " << c.first << " has "
+                                             << c.second.size()
+                                             << " bytes, expected " << clen);
+    seen[c.first] = true;
+    xs.push_back(static_cast<std::uint8_t>(c.first));
+    ys.push_back(&c.second);
+  }
+  AMBB_CHECK_MSG(xs.size() == k, "rs::reconstruct: only "
+                                     << xs.size() << " distinct chunks, need "
+                                     << k);
+
+  const GF256& f = gf();
+  std::vector<std::uint8_t> out(static_cast<std::size_t>(k) * clen, 0);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    // Systematic fast path: data column i was received verbatim.
+    bool direct = false;
+    for (std::size_t j = 0; j < xs.size(); ++j) {
+      if (xs[j] == i) {
+        for (std::size_t t = 0; t < clen; ++t) {
+          out[static_cast<std::size_t>(i) * clen + t] = (*ys[j])[t];
+        }
+        direct = true;
+        break;
+      }
+    }
+    if (direct) continue;
+    const std::vector<std::uint8_t> coeff =
+        lagrange_row(xs, static_cast<std::uint8_t>(i));
+    for (std::size_t t = 0; t < clen; ++t) {
+      std::uint8_t acc = 0;
+      for (std::size_t j = 0; j < xs.size(); ++j) {
+        acc = static_cast<std::uint8_t>(acc ^ f.mul(coeff[j], (*ys[j])[t]));
+      }
+      out[static_cast<std::size_t>(i) * clen + t] = acc;
+    }
+  }
+  out.resize(len);
+  return out;
+}
+
+}  // namespace ambb::rs

@@ -1,0 +1,48 @@
+// Systematic Reed-Solomon-style erasure code over GF(2^8).
+//
+// The extension protocol (DESIGN.md §13) splits an L-byte payload into k
+// data chunks and extends them to n chunks such that ANY k of the n
+// reconstruct the payload. Chunks are the columns of a stripe-wise
+// codeword: byte t of chunk i is the evaluation at point x = i of the
+// degree-<k polynomial interpolating byte t of the k data chunks at
+// points x = 0..k-1. Points 0..k-1 therefore carry the payload verbatim
+// (systematic), points k..n-1 carry parity.
+//
+// n is bounded by the field size (n <= 256 distinct evaluation points);
+// every protocol-relevant n is far below that.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace ambb::rs {
+
+/// Bytes per chunk for an `len`-byte payload split into k data chunks:
+/// ceil(len / k), and 1 for the degenerate empty payload so chunks are
+/// never zero-length (a zero-length chunk cannot be Merkle-committed
+/// distinctly per column).
+std::size_t chunk_bytes(std::size_t len, std::uint32_t k);
+
+/// Encode `data` into n chunks of chunk_bytes(data.size(), k) bytes each,
+/// any k of which reconstruct. Requires 1 <= k <= n <= 256. The last data
+/// chunk is zero-padded; the original length is NOT stored in the chunks
+/// (callers carry it, the wrapper derives it from the agreed digest's
+/// metadata).
+std::vector<std::vector<std::uint8_t>> encode(
+    std::span<const std::uint8_t> data, std::uint32_t n, std::uint32_t k);
+
+/// One received chunk: its column index in [0, n) plus its bytes.
+using Chunk = std::pair<std::uint32_t, std::vector<std::uint8_t>>;
+
+/// Reconstruct the original `len`-byte payload from any k distinct valid
+/// chunks. `chunks` may hold more than k entries; the first k distinct
+/// indices are used. Requires every used chunk to have the correct size
+/// and index < n; throws CheckError otherwise (also on fewer than k
+/// distinct indices).
+std::vector<std::uint8_t> reconstruct(const std::vector<Chunk>& chunks,
+                                      std::uint32_t n, std::uint32_t k,
+                                      std::size_t len);
+
+}  // namespace ambb::rs

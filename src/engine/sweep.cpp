@@ -72,33 +72,54 @@ std::vector<SweepJob> expand(const SweepSpec& spec) {
       AMBB_CHECK_MSG(f < n, "sweep '" << spec.name << "': f=" << f
                                       << " >= n=" << n);
       for (Slot L : slots) {
-        for (const auto& adv : spec.adversaries) {
-          const bool stall_ok = may_stall(info, adv);
-          for (std::uint64_t seed = spec.seed_begin; seed <= spec.seed_end;
-               ++seed) {
-            for (std::uint32_t rep = 0; rep < spec.repetitions; ++rep) {
-              SweepJob sj;
-              sj.protocol = spec.protocol;
-              sj.allow_stall = stall_ok;
-              sj.params.n = n;
-              sj.params.f = f;
-              sj.params.slots = L;
-              sj.params.seed = seed;
-              sj.params.adversary = adv;
-              sj.params.eps = spec.eps;
-              sj.params.kappa_bits = spec.kappa_bits;
-              sj.params.value_bits = spec.value_bits;
+        // An empty payload list is the off-axis sentinel {0}.
+        const std::vector<std::uint64_t> payloads =
+            spec.payloads.empty() ? std::vector<std::uint64_t>{0}
+                                  : spec.payloads;
+        for (std::uint64_t payload : payloads) {
+          const bool is_ext = spec.protocol.rfind("ext:", 0) == 0;
+          if (payload != 0 && !is_ext) {
+            AMBB_CHECK_MSG(payload <= 0x1FFFFFFFULL,
+                           "sweep '" << spec.name << "': payload " << payload
+                                     << " bytes overflows value-bits for a "
+                                        "non-ext protocol");
+          }
+          for (const auto& adv : spec.adversaries) {
+            const bool stall_ok = may_stall(info, adv);
+            for (std::uint64_t seed = spec.seed_begin; seed <= spec.seed_end;
+                 ++seed) {
+              for (std::uint32_t rep = 0; rep < spec.repetitions; ++rep) {
+                SweepJob sj;
+                sj.protocol = spec.protocol;
+                sj.allow_stall = stall_ok;
+                sj.params.n = n;
+                sj.params.f = f;
+                sj.params.slots = L;
+                sj.params.seed = seed;
+                sj.params.adversary = adv;
+                sj.params.eps = spec.eps;
+                sj.params.kappa_bits = spec.kappa_bits;
+                sj.params.value_bits = spec.value_bits;
+                sj.params.payload_bytes = payload;
+                // A raw (non-ext) row carries the payload inline: the
+                // value width IS the payload width (registry.hpp).
+                if (payload != 0 && !is_ext) {
+                  sj.params.value_bits =
+                      static_cast<std::uint32_t>(8 * payload);
+                }
 
-              std::ostringstream label;
-              label << prefix << "/" << adv << "/n" << n;
-              // Keep labels short: only dimensions the spec actually
-              // sweeps (or sets off-default) appear after n.
-              if (fs.size() > 1) label << "/f" << f;
-              if (slots.size() > 1) label << "/L" << L;
-              if (many_seeds) label << "/s" << seed;
-              if (spec.repetitions > 1) label << "/r" << (rep + 1);
-              sj.label = label.str();
-              out.push_back(std::move(sj));
+                std::ostringstream label;
+                label << prefix << "/" << adv << "/n" << n;
+                // Keep labels short: only dimensions the spec actually
+                // sweeps (or sets off-default) appear after n.
+                if (fs.size() > 1) label << "/f" << f;
+                if (slots.size() > 1) label << "/L" << L;
+                if (payloads.size() > 1) label << "/p" << payload;
+                if (many_seeds) label << "/s" << seed;
+                if (spec.repetitions > 1) label << "/r" << (rep + 1);
+                sj.label = label.str();
+                out.push_back(std::move(sj));
+              }
             }
           }
         }
@@ -257,6 +278,7 @@ void parse_f_frac(const std::string& tok, int lineno, SweepSpec* cur) {
 
 std::vector<SweepSpec> parse_spec(const std::string& text) {
   std::vector<SweepSpec> specs;
+  std::vector<int> spec_lines;  // line of each block's 'sweep' key
   SweepSpec* cur = nullptr;
 
   std::istringstream is(text);
@@ -273,6 +295,7 @@ std::vector<SweepSpec> parse_spec(const std::string& text) {
       AMBB_CHECK_MSG(nargs == 1, "spec line " << lineno
                                               << ": 'sweep' needs one name");
       specs.emplace_back();
+      spec_lines.push_back(lineno);
       cur = &specs.back();
       cur->name = toks[1];
       continue;
@@ -323,14 +346,24 @@ std::vector<SweepSpec> parse_spec(const std::string& text) {
       cur->kappa_bits = parse_num<std::uint32_t>(toks[1], lineno);
     } else if (key == "value-bits") {
       cur->value_bits = parse_num<std::uint32_t>(toks[1], lineno);
+    } else if (key == "payload") {
+      cur->payloads.clear();
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        const auto p = parse_num<std::uint64_t>(toks[i], lineno);
+        AMBB_CHECK_MSG(p >= 1, "spec line " << lineno
+                                            << ": payload must be >= 1 byte");
+        cur->payloads.push_back(p);
+      }
     } else {
       AMBB_CHECK_MSG(false,
                      "spec line " << lineno << ": unknown key '" << key << "'");
     }
   }
-  for (const auto& s : specs) {
-    AMBB_CHECK_MSG(!s.protocol.empty(),
-                   "sweep '" << s.name << "' has no 'protocol' key");
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    AMBB_CHECK_MSG(!specs[i].protocol.empty(),
+                   "spec line " << spec_lines[i] << ": sweep '"
+                                << specs[i].name
+                                << "' has no 'protocol' key");
   }
   return specs;
 }

@@ -1,9 +1,10 @@
 // Declarative sweep specification for the experiment engine.
 //
 // A SweepSpec names a protocol from the runner registry plus lists of
-// n / f / L / adversary / seed values; expand() turns it into the full
-// cross product of independent engine jobs in a documented, stable order
-// (n, then f, then slots, then adversary, then seed, then repetition).
+// n / f / L / payload / adversary / seed values; expand() turns it into
+// the full cross product of independent engine jobs in a documented,
+// stable order (n, then f, then slots, then payload, then adversary,
+// then seed, then repetition).
 // The expansion order IS the aggregation order: together with the
 // engine's submission-order reporting it pins the output byte-for-byte
 // independently of --jobs.
@@ -24,6 +25,10 @@
 //   eps 0.2                    # linear-family expander parameter
 //   kappa 256                  # security parameter bits
 //   value-bits 256             # input value width
+//   payload 4096 65536         # payload bytes per slot (DESIGN.md §13):
+//                              #   ext:* rows erasure-code the payload,
+//                              #   every other row carries it inline
+//                              #   (value-bits = 8 * payload)
 //
 // Blank lines between blocks are optional; later keys override earlier
 // ones within a block. Malformed input throws CheckError with the
@@ -70,11 +75,17 @@ struct SweepSpec {
   double eps = 0.1;
   std::uint32_t kappa_bits = kDefaultKappaBits;
   std::uint32_t value_bits = kDefaultValueBits;
+
+  /// Payload-size axis in bytes; empty = off (kappa-sized values, the
+  /// historical behaviour). For non-ext protocols a nonzero payload
+  /// overrides value_bits with 8 * payload, pricing the same L-byte
+  /// message carried inline — the raw baseline of the ext:* rows.
+  std::vector<std::uint64_t> payloads;
 };
 
 /// One expanded cell: everything needed to run and label it.
 struct SweepJob {
-  std::string label;  ///< "<name>/<adversary>/n<k>[/f..][/L..][/s..][/r..]"
+  std::string label;  ///< "<name>/<adversary>/n<k>[/f..][/L..][/p..][/s..][/r..]"
   std::string protocol;
   CommonParams params;
   bool allow_stall = false;  ///< from the registry's known liveness failures

@@ -1,0 +1,412 @@
+#include "ext/extension.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <utility>
+
+#include "adversary/scheduled.hpp"
+#include "adversary/spec.hpp"
+#include "bb/dolev_strong.hpp"
+#include "bb/linear_bb.hpp"
+#include "bb/quadratic_bb.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "crypto/rs_code.hpp"
+#include "sim/cost.hpp"
+
+namespace ambb::ext {
+
+std::vector<std::string> kind_names() { return {"disperse", "echo"}; }
+
+Value digest_fp64(const Digest& d) {
+  Value v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[static_cast<std::size_t>(i)];
+  return v;
+}
+
+namespace {
+
+Value payload_fp64(const std::vector<std::uint8_t>& payload) {
+  return digest_fp64(Sha256::hash(payload));
+}
+
+/// True if `m` is well-formed for this run and its path verifies against
+/// its claimed root.
+bool chunk_valid(const Msg& m, const Context& ctx) {
+  if (m.col >= ctx.n || m.slot < 1 || m.slot > ctx.slots) return false;
+  if (m.chunk.size() != ctx.chunk_len) return false;
+  return merkle::verify(m.root, ctx.n, m.col,
+                        merkle::leaf_hash(m.col, m.chunk), m.path);
+}
+
+void store_chunk(std::vector<StoredChunk>& store, const Msg& m) {
+  for (const StoredChunk& s : store) {
+    if (s.col == m.col && s.root == m.root) return;
+  }
+  store.push_back(StoredChunk{m.col, m.root, m.chunk, m.path});
+}
+
+}  // namespace
+
+void ExtNode::absorb(std::span<const Delivery<Msg>> inbox) {
+  NodeState& st = (*ctx_->states)[id_];
+  for (const Delivery<Msg>& d : inbox) {
+    const Msg& m = d.msg();
+    if (!chunk_valid(m, *ctx_)) continue;
+    // Identity-bound acceptance: a dispersed chunk must be MY column; an
+    // echoed chunk must come from the node owning that column. Anything
+    // else (a shuffle fault misrouting a unicast, a relayed copy) is
+    // dropped, which caps the non-uniform columns an adversary can plant
+    // at one per corrupt node — the -f slack in the decision rule.
+    const bool own_disperse =
+        m.kind == Kind::kDisperse && m.col == static_cast<std::uint32_t>(id_);
+    const bool owner_echo =
+        m.kind == Kind::kEcho && m.col == static_cast<std::uint32_t>(d.from);
+    if (!own_disperse && !owner_echo) continue;
+    store_chunk(st.store[m.slot], m);
+  }
+}
+
+void ExtNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
+                       const TrafficView<Msg>&, RoundApi<Msg>& api) {
+  const Slot k = ctx_->sched.slot_of(r);
+  const std::uint32_t offset = ctx_->sched.offset_of(r);
+  absorb(inbox);
+  // The drain round after the last slot (echoes sent in the final echo
+  // round are delivered at the START of the next round) only absorbs.
+  if (k > ctx_->slots) return;
+  NodeState& st = (*ctx_->states)[id_];
+
+  if (offset == 0) {
+    if (ctx_->sender_of(k) != id_) return;
+    const SlotEncoding& enc = (*ctx_->enc)[k];
+    for (NodeId j = 0; j < ctx_->n; ++j) {
+      Msg m;
+      m.kind = Kind::kDisperse;
+      m.slot = k;
+      m.col = j;
+      m.root = enc.root;
+      m.chunk = enc.chunks[j];
+      m.path = enc.paths[j];
+      api.send(j, std::move(m));
+    }
+    trace::Event ev;
+    ev.kind = trace::EventKind::kChunkDisperse;
+    ev.round = r;
+    ev.slot = k;
+    ev.node = id_;
+    ev.value = digest_fp64(enc.root);
+    ev.count = ctx_->chunk_len;
+    trace::emit(ctx_->trace, ev);
+    return;
+  }
+
+  // Echo round: forward my own column if the disperse round delivered a
+  // valid one for THIS slot. A stagger-delayed disperse lands after this
+  // round, is stored for reconstruction, but is never echoed and never
+  // enters the receipt vote — the vote must certify an echo that the
+  // whole network received.
+  if (st.echoed_fp[k] != kBotValue) return;
+  for (const StoredChunk& s : st.store[k]) {
+    if (s.col != static_cast<std::uint32_t>(id_)) continue;
+    Msg m;
+    m.kind = Kind::kEcho;
+    m.slot = k;
+    m.col = s.col;
+    m.root = s.root;
+    m.chunk = s.chunk;
+    m.path = s.path;
+    api.multicast(m);
+    st.echoed_fp[k] = digest_fp64(s.root);
+    trace::Event ev;
+    ev.kind = trace::EventKind::kChunkEcho;
+    ev.round = r;
+    ev.slot = k;
+    ev.node = id_;
+    ev.value = st.echoed_fp[k];
+    trace::emit(ctx_->trace, ev);
+    break;
+  }
+}
+
+namespace {
+
+/// The base phase run uniformly over the four supported families.
+RunResult run_base(const ExtConfig& cfg, Slot base_slots,
+                   const std::function<Value(Slot)>& input_for_slot,
+                   const std::function<NodeId(Slot)>& sender_of) {
+  if (cfg.base == "linear") {
+    linear::LinearConfig b;
+    b.n = cfg.n;
+    b.f = cfg.f;
+    b.slots = base_slots;
+    b.seed = cfg.seed ^ 0xBA5EBB01ULL;
+    b.eps = cfg.eps;
+    b.kappa_bits = cfg.kappa_bits;
+    b.value_bits = cfg.kappa_bits;  // digests and digest-fp votes
+    b.opts = linear::Options::paper();
+    b.adversary = "none";
+    b.trace = cfg.trace;
+    b.input_for_slot = input_for_slot;
+    b.sender_of = sender_of;
+    return linear::run_linear(b);
+  }
+  if (cfg.base == "quadratic") {
+    quad::QuadConfig b;
+    b.n = cfg.n;
+    b.f = cfg.f;
+    b.slots = base_slots;
+    b.seed = cfg.seed ^ 0xBA5EBB01ULL;
+    b.kappa_bits = cfg.kappa_bits;
+    b.value_bits = cfg.kappa_bits;
+    b.adversary = "none";
+    b.trace = cfg.trace;
+    b.input_for_slot = input_for_slot;
+    b.sender_of = sender_of;
+    return quad::run_quadratic(b);
+  }
+  if (cfg.base == "dolev-strong" || cfg.base == "dolev-strong-msig") {
+    ds::DsConfig b;
+    b.n = cfg.n;
+    b.f = cfg.f;
+    b.slots = base_slots;
+    b.seed = cfg.seed ^ 0xBA5EBB01ULL;
+    b.use_multisig = cfg.base == "dolev-strong-msig";
+    b.kappa_bits = cfg.kappa_bits;
+    b.value_bits = cfg.kappa_bits;
+    b.adversary = "none";
+    b.trace = cfg.trace;
+    b.input_for_slot = input_for_slot;
+    b.sender_of = sender_of;
+    return ds::run_dolev_strong(b);
+  }
+  AMBB_CHECK_MSG(false, "unknown extension base '" << cfg.base << "'");
+  std::abort();  // AMBB_CHECK_MSG throws; see registry.cpp note
+}
+
+}  // namespace
+
+RunResult run_extension(const ExtConfig& cfg) {
+  AMBB_CHECK_MSG(cfg.n >= 2 && 2 * cfg.f < cfg.n,
+                 "extension protocol needs f <= (n-1)/2, got n="
+                     << cfg.n << " f=" << cfg.f);
+  AMBB_CHECK_MSG(cfg.n <= 256, "RS code caps n at 256");
+  AMBB_CHECK_MSG(
+      cfg.adversary == "none" || adversary::is_schedule_spec(cfg.adversary),
+      "extension rows accept only 'none' or schedule specs, got '"
+          << cfg.adversary << "'");
+
+  Context ctx;
+  ctx.n = cfg.n;
+  ctx.f = cfg.f;
+  ctx.k = cfg.n - 2 * cfg.f;
+  ctx.slots = cfg.slots;
+  ctx.payload_len = cfg.payload_bytes != 0
+                        ? cfg.payload_bytes
+                        : static_cast<std::size_t>(cfg.kappa_bits / 8);
+  ctx.chunk_len = rs::chunk_bytes(ctx.payload_len, ctx.k);
+  ctx.wire = WireModel{cfg.n, cfg.kappa_bits, cfg.kappa_bits};
+  ctx.sender_of = [n = cfg.n](Slot s) {
+    return static_cast<NodeId>((s - 1) % n);
+  };
+  ctx.trace = cfg.trace;
+
+  // Deterministic pseudo-random payloads; the committed Value is the
+  // payload's 64-bit fingerprint (the in-memory carrier convention).
+  std::vector<SlotEncoding> enc(cfg.slots + 1);
+  std::uint64_t pay_seed = cfg.seed ^ 0x10adBEEFULL;
+  for (Slot s = 1; s <= cfg.slots; ++s) {
+    SlotEncoding& e = enc[s];
+    e.payload.resize(ctx.payload_len);
+    for (std::size_t i = 0; i < e.payload.size(); i += 8) {
+      const std::uint64_t w = splitmix64(pay_seed);
+      for (std::size_t b = 0; b < 8 && i + b < e.payload.size(); ++b) {
+        e.payload[i + b] = static_cast<std::uint8_t>(w >> (8 * b));
+      }
+    }
+    e.chunks = rs::encode(e.payload, cfg.n, ctx.k);
+    std::vector<Digest> leaves(cfg.n);
+    for (std::uint32_t j = 0; j < cfg.n; ++j) {
+      leaves[j] = merkle::leaf_hash(j, e.chunks[j]);
+    }
+    const merkle::Tree tree = merkle::Tree::build(leaves);
+    e.root = tree.root();
+    e.paths.resize(cfg.n);
+    for (std::uint32_t j = 0; j < cfg.n; ++j) e.paths[j] = tree.prove(j);
+  }
+  ctx.enc = &enc;
+
+  std::vector<NodeState> states(cfg.n);
+  for (NodeState& st : states) {
+    st.echoed_fp.assign(cfg.slots + 1, kBotValue);
+    st.store.resize(cfg.slots + 1);
+  }
+  ctx.states = &states;
+
+  // ---- Phase 1: chunk dispersal (2 lock-step rounds per slot). ----
+  CostLedger ledger(kind_names());
+  Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire});
+  sim.set_trace(cfg.trace);
+  for (NodeId v = 0; v < cfg.n; ++v) {
+    sim.set_actor(v, std::make_unique<ExtNode>(v, &ctx));
+  }
+  // One extra drain round: the last slot's echoes are sent in round
+  // 2*slots - 1 and delivered at the start of round 2*slots.
+  const std::uint64_t disp_rounds =
+      static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot() + 1;
+  std::unique_ptr<Adversary<Msg>> adversary;
+  if (adversary::is_schedule_spec(cfg.adversary)) {
+    adversary::ScheduleEnv<Msg> env;
+    env.n = cfg.n;
+    env.f = cfg.f;
+    env.seed = cfg.seed ^ 0xE87E9510ULL;
+    env.horizon = disp_rounds;
+    env.trace = cfg.trace;
+    env.honest_factory = [ctxp = &ctx](NodeId v) {
+      return std::make_unique<ExtNode>(v, ctxp);
+    };
+    adversary = adversary::make_scheduled_adversary<Msg>(cfg.adversary, env);
+    sim.bind_adversary(adversary.get());
+  }
+  for (std::uint64_t i = 0; i < disp_rounds; ++i) {
+    if (ctx.sched.offset_of(i) == 0 && ctx.sched.slot_of(i) <= cfg.slots) {
+      const Slot k = ctx.sched.slot_of(i);
+      trace::Event ev;
+      ev.kind = trace::EventKind::kSlotStart;
+      ev.round = i;
+      ev.slot = k;
+      ev.node = ctx.sender_of(k);
+      trace::emit(cfg.trace, ev);
+    }
+    sim.step();
+  }
+
+  // ---- Phase 2: digest + receipt votes over the base BB family. ----
+  // Base slot b of ext slot s: sub = (b-1) % (n+1); sub 0 carries
+  // fp(root_s) from the slot sender, sub j >= 1 carries node (j-1)'s
+  // receipt vote read off its dispersal-phase state.
+  const std::uint32_t per_slot = cfg.n + 1;
+  const Slot base_slots = cfg.slots * per_slot;
+  auto base_input = [&enc, &states, per_slot](Slot b) {
+    const Slot s = (b - 1) / per_slot + 1;
+    const std::uint32_t sub = (b - 1) % per_slot;
+    if (sub == 0) return digest_fp64(enc[s].root);
+    return states[sub - 1].echoed_fp[s];
+  };
+  auto base_sender = [&ctx, per_slot](Slot b) {
+    const Slot s = (b - 1) / per_slot + 1;
+    const std::uint32_t sub = (b - 1) % per_slot;
+    return sub == 0 ? ctx.sender_of(s) : static_cast<NodeId>(sub - 1);
+  };
+  RunResult base = run_base(cfg, base_slots, base_input, base_sender);
+
+  // ---- Phase 3: local decisions. ----
+  const Round total_rounds = static_cast<Round>(disp_rounds) + base.rounds;
+  CommitLog commits(cfg.n);
+  for (NodeId v = 0; v < cfg.n; ++v) {
+    for (Slot s = 1; s <= cfg.slots; ++s) {
+      const Slot b0 = static_cast<Slot>((s - 1) * per_slot + 1);
+      Value decided = kBotValue;
+      std::uint64_t held = 0;
+      const char* outcome = "bot";
+      if (base.commits.has(v, b0)) {
+        const Value d_fp = base.commits.get(v, b0).value;
+        std::uint32_t votes = 0;
+        for (std::uint32_t j = 0; j < cfg.n; ++j) {
+          const Slot bj = static_cast<Slot>(b0 + 1 + j);
+          if (d_fp != kBotValue && base.commits.has(v, bj) &&
+              base.commits.get(v, bj).value == d_fp) {
+            ++votes;
+          }
+        }
+        if (votes >= cfg.n - cfg.f) {
+          // Columns bound to the agreed digest. Ties on the 64-bit
+          // fingerprint across distinct full roots are a SHA-256
+          // truncation collision — out of model; pick the smallest root
+          // deterministically if it ever happened.
+          const Digest* root = nullptr;
+          for (const StoredChunk& c : states[v].store[s]) {
+            if (digest_fp64(c.root) != d_fp) continue;
+            if (root == nullptr || c.root < *root) root = &c.root;
+          }
+          std::vector<rs::Chunk> cols;
+          if (root != nullptr) {
+            for (const StoredChunk& c : states[v].store[s]) {
+              if (c.root == *root) cols.emplace_back(c.col, c.chunk);
+            }
+          }
+          if (cols.size() >= ctx.k) {
+            const std::vector<std::uint8_t> payload =
+                rs::reconstruct(cols, cfg.n, ctx.k, ctx.payload_len);
+            const std::vector<std::vector<std::uint8_t>> re =
+                rs::encode(payload, cfg.n, ctx.k);
+            std::vector<Digest> leaves(cfg.n);
+            for (std::uint32_t j = 0; j < cfg.n; ++j) {
+              leaves[j] = merkle::leaf_hash(j, re[j]);
+            }
+            if (merkle::Tree::build(leaves).root() == *root) {
+              decided = payload_fp64(payload);
+              outcome = "commit";
+            }
+          }
+          held = cols.size();
+        }
+      }
+      commits.record(v, s, decided, total_rounds);
+      trace::Event ev;
+      ev.kind = trace::EventKind::kReconstruct;
+      ev.round = total_rounds;
+      ev.slot = s;
+      ev.node = v;
+      ev.value = decided;
+      ev.count = held;
+      ev.detail = outcome;
+      trace::emit(cfg.trace, ev);
+    }
+  }
+
+  // ---- Merge the two phases into one RunResult. ----
+  RunResult res;
+  res.n = cfg.n;
+  res.f = cfg.f;
+  res.slots = cfg.slots;
+  res.rounds = total_rounds;
+  res.honest_bits = ledger.honest_bits_total() + base.honest_bits;
+  res.adversary_bits = ledger.adversary_bits_total() + base.adversary_bits;
+  res.honest_msgs = ledger.honest_msgs_total() + base.honest_msgs;
+  res.per_slot_bits.assign(cfg.slots + 1, 0);
+  const std::vector<std::uint64_t>& disp_slot = ledger.per_slot();
+  for (Slot s = 1; s <= cfg.slots; ++s) {
+    if (s < disp_slot.size()) res.per_slot_bits[s] = disp_slot[s];
+    for (std::uint32_t sub = 0; sub < per_slot; ++sub) {
+      const Slot b = static_cast<Slot>((s - 1) * per_slot + 1 + sub);
+      if (b < base.per_slot_bits.size()) {
+        res.per_slot_bits[s] += base.per_slot_bits[b];
+      }
+    }
+  }
+  res.kind_names = ledger.kind_names();
+  res.per_kind_bits = ledger.per_kind();
+  for (std::size_t i = 0; i < base.kind_names.size(); ++i) {
+    res.kind_names.push_back("base:" + base.kind_names[i]);
+    res.per_kind_bits.push_back(i < base.per_kind_bits.size()
+                                    ? base.per_kind_bits[i]
+                                    : 0);
+  }
+  res.commits = commits;
+  res.corrupt.resize(cfg.n);
+  for (NodeId v = 0; v < cfg.n; ++v) res.corrupt[v] = sim.is_corrupt(v);
+  res.senders.resize(cfg.slots + 1, kNoNode);
+  res.sender_inputs.resize(cfg.slots + 1, kBotValue);
+  for (Slot s = 1; s <= cfg.slots; ++s) {
+    res.senders[s] = ctx.sender_of(s);
+    res.sender_inputs[s] = payload_fp64(enc[s].payload);
+  }
+  res.round_stats = sim.round_stats();
+  res.round_stats.insert(res.round_stats.end(), base.round_stats.begin(),
+                         base.round_stats.end());
+  return res;
+}
+
+}  // namespace ambb::ext

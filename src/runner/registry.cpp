@@ -10,6 +10,7 @@
 #include "bb/phase_king.hpp"
 #include "bb/quadratic_bb.hpp"
 #include "common/check.hpp"
+#include "ext/extension.hpp"
 
 namespace ambb {
 
@@ -162,6 +163,59 @@ std::vector<ProtocolInfo> build() {
         cfg.trace = rq.trace;
         return run_phase_king(cfg);
       }});
+
+  // Long-message extension rows (DESIGN.md §13): erasure-coded dispersal
+  // with the named family as the digest+receipt base phase. Dispersal
+  // needs k = n-2f >= 1 chunks to survive f withheld receipts and f
+  // selectively-planted columns, so f is capped at (n-1)/2 on top of the
+  // base family's own bound. The dispersal phase takes the fault
+  // schedule; named deviations of the base families do not apply.
+  {
+    const AdversaryPolicy ext_policy{{"none"}, {}, /*sched_may_stall=*/false};
+    struct ExtRow {
+      const char* name;
+      const char* base;
+      const char* row;
+      std::function<std::uint32_t(std::uint32_t)> base_max_f;
+    };
+    const std::vector<ExtRow> ext_rows = {
+        {"ext:linear", "linear",
+         "NRSX extension over Algorithm 4, O(l n) dispersal", lin_max_f},
+        {"ext:quadratic", "quadratic",
+         "NRSX extension over the quadratic family",
+         [](std::uint32_t n) { return n - 1; }},
+        {"ext:dolev-strong", "dolev-strong",
+         "NRSX extension over Dolev-Strong (plain signatures)",
+         [](std::uint32_t n) { return n - 1; }},
+        {"ext:dolev-strong-msig", "dolev-strong-msig",
+         "NRSX extension over Dolev-Strong (multi-signatures)",
+         [](std::uint32_t n) { return n - 1; }},
+    };
+    for (const ExtRow& row : ext_rows) {
+      out.push_back(ProtocolInfo{
+          row.name,
+          row.row,
+          ext_policy,
+          [base_max_f = row.base_max_f](std::uint32_t n) {
+            return std::min(base_max_f(n), (n - 1) / 2);
+          },
+          [base = std::string(row.base)](const RunRequest& rq) {
+            const CommonParams& p = rq.params;
+            ext::ExtConfig cfg;
+            cfg.n = p.n;
+            cfg.f = p.f;
+            cfg.slots = p.slots;
+            cfg.seed = p.seed;
+            cfg.payload_bytes = p.payload_bytes;
+            cfg.kappa_bits = p.kappa_bits;
+            cfg.eps = p.eps;
+            cfg.base = base;
+            cfg.adversary = p.adversary;
+            cfg.trace = rq.trace;
+            return ext::run_extension(cfg);
+          }});
+    }
+  }
 
   out.push_back(ProtocolInfo{
       "hotstuff",

@@ -27,6 +27,12 @@ struct CommonParams {
   /// ignored by the other families. The default matches the pre-engine
   /// registry behaviour bit-for-bit.
   double eps = 0.1;
+  /// Payload size axis for long-message runs (DESIGN.md §13). 0 keeps the
+  /// historical kappa-sized-value behaviour. The ext:* rows erasure-code
+  /// a payload of this many bytes per slot; for every other row the sweep
+  /// layer translates a nonzero payload into value_bits = 8 * payload
+  /// (the value travels inline), so the same axis prices both designs.
+  std::uint64_t payload_bytes = 0;
 };
 
 /// One run, fully specified: the parameters plus an optional trace sink.

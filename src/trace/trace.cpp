@@ -13,6 +13,9 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kCertFormed: return "cert-formed";
     case EventKind::kAdversaryAction: return "adversary-action";
     case EventKind::kRoundEnd: return "round-end";
+    case EventKind::kChunkDisperse: return "chunk-disperse";
+    case EventKind::kChunkEcho: return "chunk-echo";
+    case EventKind::kReconstruct: return "reconstruct";
   }
   return "?";
 }
@@ -94,6 +97,28 @@ void to_jsonl(std::ostream& os, const Event& e) {
       field(os, "adversary_bits", e.stats.adversary_bits, &first);
       field(os, "erasures", e.stats.erasures, &first);
       field(os, "corruptions", e.stats.corruptions, &first);
+      break;
+    case EventKind::kChunkDisperse:
+      // value = 64-bit fingerprint of the committed Merkle root,
+      // count = chunk size in bytes.
+      field(os, "k", e.slot, &first);
+      field(os, "node", e.node, &first);
+      field(os, "value", e.value, &first);
+      field(os, "count", e.count, &first);
+      break;
+    case EventKind::kChunkEcho:
+      field(os, "k", e.slot, &first);
+      field(os, "node", e.node, &first);
+      field(os, "value", e.value, &first);
+      break;
+    case EventKind::kReconstruct:
+      // count = distinct verified columns held, detail = outcome
+      // ("commit" / "bot").
+      field(os, "k", e.slot, &first);
+      field(os, "node", e.node, &first);
+      field(os, "value", e.value, &first);
+      field(os, "count", e.count, &first);
+      field_str(os, "detail", e.detail, &first);
       break;
   }
   os << '}';

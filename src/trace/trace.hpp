@@ -33,6 +33,9 @@ enum class EventKind : std::uint8_t {
   kCertFormed,        ///< node combines a threshold cert / proof (Alg. 4)
   kAdversaryAction,   ///< fault primitive fired (corrupt/erase/silence/...)
   kRoundEnd,          ///< simulator: round finished, stats attached
+  kChunkDisperse,     ///< ext: slot sender unicasts coded chunks (§13)
+  kChunkEcho,         ///< ext: node multicasts its own verified column
+  kReconstruct,       ///< ext: node's end-of-run decode decision
 };
 
 /// Stable lowercase name used in JSONL output and timelines.

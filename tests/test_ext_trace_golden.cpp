@@ -1,0 +1,62 @@
+// JSONL trace golden for the extension subsystem: the full event stream
+// of one fixed ext:linear cell (n=8, f=2, L=2, seed=1, 1 KiB payload)
+// must match the file checked in under tests/golden/ byte for byte. The
+// ext trace concatenates dispersal events (chunk-disperse / chunk-echo /
+// reconstruct) with the base family's own stream, so this pins both the
+// new event layouts and the dispersal/base round interleaving.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "runner/registry.hpp"
+#include "trace/trace.hpp"
+
+namespace ambb {
+namespace {
+
+CommonParams golden_params() {
+  CommonParams p;
+  p.n = 8;
+  p.f = 2;
+  p.slots = 2;
+  p.seed = 1;
+  p.payload_bytes = 1024;
+  p.adversary = "none";
+  return p;
+}
+
+std::string render_trace() {
+  std::ostringstream os;
+  trace::JsonlSink sink(os);
+  protocol("ext:linear").run(RunRequest{golden_params(), &sink});
+  return os.str();
+}
+
+TEST(ExtTraceGolden, ExtLinearN8F2L2Seed1MatchesCheckedInFile) {
+  const std::string path =
+      std::string(AMBB_GOLDEN_DIR) + "/trace_ext_linear_n8_f2_L2_seed1.jsonl";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in) << "missing golden file " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+
+  const std::string got = render_trace();
+  ASSERT_FALSE(got.empty());
+  if (got != want.str()) {
+    std::istringstream ga(got), wa(want.str());
+    std::string gl, wl;
+    std::size_t line = 1;
+    while (std::getline(ga, gl) && std::getline(wa, wl) && gl == wl) ++line;
+    FAIL() << "ext trace drifted from golden at line " << line
+           << "\n  got:  " << gl << "\n  want: " << wl;
+  }
+}
+
+TEST(ExtTraceGolden, RenderingIsDeterministic) {
+  EXPECT_EQ(render_trace(), render_trace());
+}
+
+}  // namespace
+}  // namespace ambb

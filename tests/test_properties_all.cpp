@@ -79,6 +79,7 @@ INSTANTIATE_TEST_SUITE_P(
                       std::get<1>(info.param) + "_s" +
                       std::to_string(std::get<2>(info.param));
       std::replace(s.begin(), s.end(), '-', '_');
+      std::replace(s.begin(), s.end(), ':', '_');  // "ext:linear" rows
       return s;
     });
 

@@ -1,0 +1,183 @@
+// Systematic erasure coder over GF(2^8) (src/crypto/rs_code.hpp): the
+// chunk geometry, the any-k-of-n reconstruction guarantee at the edge
+// parameter points the extension protocol actually hits (k=1
+// replication, f=0 so k=n, maximal erasures), malformed-input
+// rejection, and corrupted-chunk detection when the code is paired with
+// the Merkle commitment as in DESIGN.md §13.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/rs_code.hpp"
+
+namespace ambb {
+namespace {
+
+std::vector<std::uint8_t> pattern_bytes(std::size_t len) {
+  std::vector<std::uint8_t> v(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    v[i] = static_cast<std::uint8_t>(i * 37 + 11);
+  }
+  return v;
+}
+
+TEST(RsCode, ChunkBytesIsCeilAndNeverZero) {
+  EXPECT_EQ(rs::chunk_bytes(12, 4), 3u);
+  EXPECT_EQ(rs::chunk_bytes(13, 4), 4u);
+  EXPECT_EQ(rs::chunk_bytes(1, 4), 1u);
+  EXPECT_EQ(rs::chunk_bytes(0, 4), 1u);  // empty payload still gets a byte
+  EXPECT_EQ(rs::chunk_bytes(100, 1), 100u);
+}
+
+TEST(RsCode, SystematicPrefixCarriesThePayloadVerbatim) {
+  const auto data = pattern_bytes(20);
+  const auto chunks = rs::encode(data, /*n=*/7, /*k=*/5);
+  ASSERT_EQ(chunks.size(), 7u);
+  const std::size_t cb = rs::chunk_bytes(data.size(), 5);
+  ASSERT_EQ(cb, 4u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(chunks[i].size(), cb);
+    for (std::size_t t = 0; t < cb; ++t) {
+      const std::size_t pos = i * cb + t;
+      const std::uint8_t want = pos < data.size() ? data[pos] : 0;
+      EXPECT_EQ(chunks[i][t], want) << "chunk " << i << " byte " << t;
+    }
+  }
+}
+
+TEST(RsCode, KEqualsOneIsReplication) {
+  // f = (n-1)/2 at n odd makes k = n - 2f = 1: every chunk IS the
+  // payload, any single survivor reconstructs.
+  const auto data = pattern_bytes(9);
+  const auto chunks = rs::encode(data, /*n=*/5, /*k=*/1);
+  ASSERT_EQ(chunks.size(), 5u);
+  for (const auto& c : chunks) EXPECT_EQ(c, data);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    const auto back = rs::reconstruct({{i, chunks[i]}}, 5, 1, data.size());
+    EXPECT_EQ(back, data) << "from column " << i;
+  }
+}
+
+TEST(RsCode, FZeroMeansKEqualsNAndNeedsEveryChunk) {
+  const auto data = pattern_bytes(17);
+  const std::uint32_t n = 6;
+  const auto chunks = rs::encode(data, n, /*k=*/n);
+  std::vector<rs::Chunk> all;
+  for (std::uint32_t i = 0; i < n; ++i) all.push_back({i, chunks[i]});
+  EXPECT_EQ(rs::reconstruct(all, n, n, data.size()), data);
+
+  // Dropping any one column leaves k-1 distinct indices: not enough.
+  std::vector<rs::Chunk> missing(all.begin() + 1, all.end());
+  EXPECT_THROW(rs::reconstruct(missing, n, n, data.size()), CheckError);
+}
+
+TEST(RsCode, MaximalErasuresAnyKSubsetReconstructs) {
+  // n=9, f=3, k=3: every 3-subset of the 9 columns — including the
+  // all-parity ones — must reconstruct after the other 6 are erased.
+  const auto data = pattern_bytes(31);
+  const std::uint32_t n = 9, k = 3;
+  const auto chunks = rs::encode(data, n, k);
+  for (std::uint32_t a = 0; a < n; ++a) {
+    for (std::uint32_t b = a + 1; b < n; ++b) {
+      for (std::uint32_t c = b + 1; c < n; ++c) {
+        const std::vector<rs::Chunk> got = {
+            {a, chunks[a]}, {b, chunks[b]}, {c, chunks[c]}};
+        EXPECT_EQ(rs::reconstruct(got, n, k, data.size()), data)
+            << "columns {" << a << "," << b << "," << c << "}";
+      }
+    }
+  }
+}
+
+TEST(RsCode, DuplicateIndicesDoNotCountTowardK) {
+  const auto data = pattern_bytes(8);
+  const auto chunks = rs::encode(data, 4, 2);
+  // Two copies of column 0 are one distinct index.
+  EXPECT_THROW(rs::reconstruct({{0, chunks[0]}, {0, chunks[0]}}, 4, 2,
+                               data.size()),
+               CheckError);
+  // ...but extra entries past the first k distinct ones are ignored.
+  EXPECT_EQ(rs::reconstruct({{3, chunks[3]}, {3, chunks[3]}, {1, chunks[1]}},
+                            4, 2, data.size()),
+            data);
+}
+
+TEST(RsCode, MalformedChunksAreRejected) {
+  const auto data = pattern_bytes(8);
+  const auto chunks = rs::encode(data, 4, 2);
+  auto short_chunk = chunks[1];
+  short_chunk.pop_back();
+  EXPECT_THROW(rs::reconstruct({{0, chunks[0]}, {1, short_chunk}}, 4, 2,
+                               data.size()),
+               CheckError);
+  EXPECT_THROW(rs::reconstruct({{0, chunks[0]}, {7, chunks[1]}}, 4, 2,
+                               data.size()),
+               CheckError);  // index >= n
+  EXPECT_THROW(rs::encode(data, /*n=*/4, /*k=*/5), CheckError);  // k > n
+  EXPECT_THROW(rs::encode(data, /*n=*/300, /*k=*/2), CheckError);  // n > 256
+}
+
+TEST(RsCode, CorruptedChunkIsCaughtByTheMerkleCommitment) {
+  // The coder itself cannot detect a flipped byte in a parity column —
+  // the wrapper's defence is the Merkle leaf bound to (index, chunk).
+  // A tampered chunk either fails verify() against the honest root, or
+  // (if the receiver skipped verification) yields a payload whose
+  // re-encoded tree has a different root.
+  const auto data = pattern_bytes(24);
+  const std::uint32_t n = 6, k = 2;
+  const auto chunks = rs::encode(data, n, k);
+  std::vector<Digest> leaves;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    leaves.push_back(merkle::leaf_hash(i, chunks[i]));
+  }
+  const auto tree = merkle::Tree::build(leaves);
+
+  auto evil = chunks[4];
+  evil[0] ^= 0x80;
+  EXPECT_FALSE(merkle::verify(tree.root(), n, 4, merkle::leaf_hash(4, evil),
+                              tree.prove(4)));
+  EXPECT_TRUE(merkle::verify(tree.root(), n, 4, merkle::leaf_hash(4, chunks[4]),
+                             tree.prove(4)));
+
+  const auto bad =
+      rs::reconstruct({{4, evil}, {5, chunks[5]}}, n, k, data.size());
+  EXPECT_NE(bad, data);
+  const auto re = rs::encode(bad, n, k);
+  std::vector<Digest> re_leaves;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    re_leaves.push_back(merkle::leaf_hash(i, re[i]));
+  }
+  EXPECT_NE(merkle::Tree::build(re_leaves).root(), tree.root());
+}
+
+TEST(RsCode, RandomizedRoundTripProperty) {
+  // Seeded property sweep: random (n, k, len, payload, erasure pattern)
+  // always round-trips from k random distinct surviving columns.
+  Rng rng(0xC0DEC0DEULL);
+  for (int iter = 0; iter < 200; ++iter) {
+    const auto n = static_cast<std::uint32_t>(rng.uniform_range(1, 24));
+    const auto k = static_cast<std::uint32_t>(rng.uniform_range(1, n));
+    const auto len = static_cast<std::size_t>(rng.uniform(257));
+    std::vector<std::uint8_t> data(len);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+
+    const auto chunks = rs::encode(data, n, k);
+    ASSERT_EQ(chunks.size(), n);
+    const auto cols = rng.sample_distinct(n, k);
+    std::vector<rs::Chunk> got;
+    for (std::uint64_t c : cols) {
+      got.push_back({static_cast<std::uint32_t>(c),
+                     chunks[static_cast<std::size_t>(c)]});
+    }
+    EXPECT_EQ(rs::reconstruct(got, n, k, len), data)
+        << "iter " << iter << " n=" << n << " k=" << k << " len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace ambb

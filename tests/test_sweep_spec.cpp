@@ -4,6 +4,8 @@
 // parse errors.
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -154,6 +156,63 @@ TEST(SweepExpand, ScheduleSpecsExpandForEveryProtocol) {
   bad.protocol = "linear";
   bad.adversaries = {"sched-typo"};
   EXPECT_THROW(expand(bad), CheckError);
+}
+
+TEST(SweepExpand, PayloadAxisMapsToValueBitsForRawRowsOnly) {
+  // Non-ext protocols carry the payload inline: value_bits becomes 8L.
+  SweepSpec raw;
+  raw.protocol = "dolev-strong";
+  raw.ns = {8};
+  raw.fs = {2};
+  raw.payloads = {512, 4096};
+  const auto raw_jobs = expand(raw);
+  ASSERT_EQ(raw_jobs.size(), 2u);
+  EXPECT_EQ(raw_jobs[0].label, "dolev-strong/none/n8/p512");
+  EXPECT_EQ(raw_jobs[1].label, "dolev-strong/none/n8/p4096");
+  EXPECT_EQ(raw_jobs[0].params.payload_bytes, 512u);
+  EXPECT_EQ(raw_jobs[0].params.value_bits, 8u * 512u);
+  EXPECT_EQ(raw_jobs[1].params.value_bits, 8u * 4096u);
+
+  // ext:* rows erasure-code the payload; the base phase stays at the
+  // spec's value_bits (kappa-sized digests), only payload_bytes moves.
+  SweepSpec ext;
+  ext.protocol = "ext:dolev-strong";
+  ext.ns = {8};
+  ext.fs = {2};
+  ext.payloads = {4096};
+  const auto ext_jobs = expand(ext);
+  ASSERT_EQ(ext_jobs.size(), 1u);
+  // Single payload value: no /p label component.
+  EXPECT_EQ(ext_jobs[0].label, "ext:dolev-strong/none/n8");
+  EXPECT_EQ(ext_jobs[0].params.payload_bytes, 4096u);
+  EXPECT_EQ(ext_jobs[0].params.value_bits, kDefaultValueBits);
+
+  // 8 * payload must fit value_bits for raw rows; ext rows have no cap.
+  SweepSpec huge;
+  huge.protocol = "dolev-strong";
+  huge.ns = {8};
+  huge.fs = {2};
+  huge.payloads = {0x20000000ULL};
+  EXPECT_THROW(expand(huge), CheckError);
+  huge.protocol = "ext:dolev-strong";
+  EXPECT_NO_THROW(expand(huge));
+}
+
+TEST(SweepExpand, PayloadSitsBetweenSlotsAndAdversaryInTheOrder) {
+  SweepSpec spec;
+  spec.name = "px";
+  spec.protocol = "dolev-strong";
+  spec.ns = {8};
+  spec.fs = {1};
+  spec.payloads = {64, 128};
+  spec.adversaries = {"none", "silent"};
+  const auto jobs = expand(spec);
+  ASSERT_EQ(jobs.size(), 4u);
+  // Adversary varies fastest, payload slower (documented stable order).
+  EXPECT_EQ(jobs[0].label, "px/none/n8/p64");
+  EXPECT_EQ(jobs[1].label, "px/silent/n8/p64");
+  EXPECT_EQ(jobs[2].label, "px/none/n8/p128");
+  EXPECT_EQ(jobs[3].label, "px/silent/n8/p128");
 }
 
 TEST(SweepExpand, FMaxUsesTheRegistryBound) {
@@ -340,7 +399,54 @@ TEST(SpecParser, ErrorsCarryTheOffendingLine) {
   expect_parse_error("sweep x\nprotocol linear\nseeds 4\n",
                      "'seeds' needs begin end");
   expect_parse_error("sweep one two\n", "'sweep' needs one name");
+  // Every diagnostic names the offending line, including block-level
+  // errors reported after the parse loop: the no-protocol message points
+  // at the block's own 'sweep' line, not the end of the file.
   expect_parse_error("sweep x\nn 8\n", "has no 'protocol' key");
+  expect_parse_error("sweep x\nn 8\n", "spec line 1");
+  expect_parse_error("sweep ok\nprotocol linear\n\nsweep bad\nn 8\n",
+                     "spec line 4");
+  expect_parse_error("sweep x\nprotocol linear\n\n\npayload 0\n",
+                     "spec line 5");
+  expect_parse_error("sweep x\nprotocol linear\npayload 4096 huge\n",
+                     "spec line 3");
+}
+
+TEST(SpecParser, PayloadKeyParsesAList) {
+  const auto specs = parse_spec(
+      "sweep p\nprotocol ext:linear\nn 8\nf 2\npayload 512 4096 32768\n");
+  ASSERT_EQ(specs.size(), 1u);
+  EXPECT_EQ(specs[0].payloads,
+            (std::vector<std::uint64_t>{512, 4096, 32768}));
+  const auto jobs = expand_all(specs);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].label, "p/none/n8/p512");
+  EXPECT_EQ(jobs[2].params.payload_bytes, 32768u);
+}
+
+TEST(SpecParser, PayloadScalingSpecFileRoundTrips) {
+  // The checked-in crossover spec (tools/specs/payload_scaling.spec) must
+  // keep parsing and expanding: 4 blocks x 4 payloads, ext rows paired
+  // with raw baselines whose value_bits carry the payload inline.
+  std::ifstream in(std::string(AMBB_SPECS_DIR) + "/payload_scaling.spec");
+  ASSERT_TRUE(in.good());
+  std::stringstream ss;
+  ss << in.rdbuf();
+
+  const auto specs = parse_spec(ss.str());
+  ASSERT_EQ(specs.size(), 4u);
+  const auto jobs = expand_all(specs);
+  ASSERT_EQ(jobs.size(), 16u);
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.params.payload_bytes, 512u) << j.label;
+    EXPECT_NE(j.label.find("/p"), std::string::npos) << j.label;
+    const bool is_ext = j.protocol.rfind("ext:", 0) == 0;
+    if (is_ext) {
+      EXPECT_EQ(j.params.value_bits, kDefaultValueBits) << j.label;
+    } else {
+      EXPECT_EQ(j.params.value_bits, 8u * j.params.payload_bytes) << j.label;
+    }
+  }
 }
 
 }  // namespace

@@ -7,11 +7,14 @@
 // and where commits stopped.
 //
 //   ambb_trace --protocol NAME [--adversary SPEC] [--n N] [--f F]
-//              [--slots L] [--seed S] [--eps E] [--slot K]
+//              [--slots L] [--seed S] [--eps E] [--payload BYTES] [--slot K]
 //              [--jsonl FILE]
 //
 //   --protocol NAME  registry protocol (required; see protocol_explorer)
 //   --adversary SPEC named strategy or "sched:..." / "fuzz[:k]" schedule
+//   --payload BYTES  per-slot payload size (DESIGN.md §13): ext:* rows
+//                    erasure-code it, other rows carry it inline
+//                    (value-bits = 8 * BYTES)
 //   --slot K         only print the timeline of slot K (summary stays)
 //   --jsonl FILE     also dump the raw deterministic JSONL event stream
 #include <algorithm>
@@ -43,6 +46,7 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ambb_trace --protocol NAME [--adversary SPEC] "
                "[--n N] [--f F] [--slots L] [--seed S] [--eps E] "
+               "[--payload BYTES] "
                "[--slot K] [--jsonl FILE]\n");
 }
 
@@ -69,12 +73,21 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
     else if (arg == "--slots") cli.params.slots = static_cast<Slot>(std::atoi(v));
     else if (arg == "--seed") cli.params.seed = static_cast<std::uint64_t>(std::atoll(v));
     else if (arg == "--eps") cli.params.eps = std::atof(v);
+    else if (arg == "--payload")
+      cli.params.payload_bytes = static_cast<std::uint64_t>(std::atoll(v));
     else if (arg == "--slot") cli.only_slot = static_cast<Slot>(std::atoi(v));
     else if (arg == "--jsonl") cli.jsonl = v;
     else {
       std::fprintf(stderr, "ambb_trace: unknown argument '%s'\n", arg.c_str());
       return false;
     }
+  }
+  // Non-ext rows carry a nonzero payload inline, same mapping as the
+  // sweep layer (engine/sweep.cpp). Applied after the loop so the flag
+  // order does not matter.
+  if (cli.params.payload_bytes != 0 && cli.protocol.rfind("ext:", 0) != 0) {
+    cli.params.value_bits =
+        static_cast<std::uint32_t>(8 * cli.params.payload_bytes);
   }
   if (cli.protocol.empty()) {
     std::fprintf(stderr, "ambb_trace: --protocol is required\n");
@@ -262,40 +275,51 @@ int main(int argc, char** argv) {
   }
 
   // ---- trust-graph / accusation delta summary ----------------------------
-  std::printf("\nper-slot deltas (accusations / edge removals / corrupt "
-              "votes / adversary actions / commits):\n");
-  std::size_t honest = 0;
-  for (NodeId v = 0; v < r.n; ++v) honest += r.corrupt[v] ? 0 : 1;
-  bool any_stall = false;
-  for (Slot k = 1; k <= r.slots; ++k) {
-    const SlotDelta d = deltas.count(k) ? deltas[k] : SlotDelta{};
-    std::size_t honest_commits = 0;
-    for (NodeId v = 0; v < r.n; ++v) {
-      if (!r.corrupt[v] && r.commits.has(v, k)) ++honest_commits;
-    }
-    const bool stalled = honest_commits < honest;
-    any_stall |= stalled;
-    std::printf("  slot %-3u +%zu acc  +%zu edges  +%zu votes  +%zu adv  "
-                "%zu commits%s\n",
-                k, d.accusations, d.edges_removed, d.corrupt_votes,
-                d.adversary_actions, d.commits,
-                stalled ? "  <- STALLED" : "");
-    if (stalled) {
-      std::printf("           (%zu/%zu honest nodes committed; missing:",
-                  honest_commits, honest);
-      for (NodeId v = 0; v < r.n; ++v) {
-        if (!r.corrupt[v] && !r.commits.has(v, k)) std::printf(" %u", v);
-      }
-      std::printf(")\n");
-    }
-  }
-
   std::size_t acc = 0, edges = 0, votes = 0, adv = 0;
   for (const auto& [k, d] : deltas) {
     acc += d.accusations;
     edges += d.edges_removed;
     votes += d.corrupt_votes;
     adv += d.adversary_actions;
+  }
+  std::size_t honest = 0;
+  for (NodeId v = 0; v < r.n; ++v) honest += r.corrupt[v] ? 0 : 1;
+  bool any_stall = false;
+  for (Slot k = 1; k <= r.slots; ++k) {
+    std::size_t honest_commits = 0;
+    for (NodeId v = 0; v < r.n; ++v) {
+      if (!r.corrupt[v] && r.commits.has(v, k)) ++honest_commits;
+    }
+    any_stall |= honest_commits < honest;
+  }
+  // A clean run (no schedule, no named adversary) has nothing to delta:
+  // printing a table of zero rows just buries the commit timeline, so
+  // the whole section — header included — is suppressed unless some slot
+  // accumulated a delta or stalled.
+  if (acc + edges + votes + adv > 0 || any_stall) {
+    std::printf("\nper-slot deltas (accusations / edge removals / corrupt "
+                "votes / adversary actions / commits):\n");
+    for (Slot k = 1; k <= r.slots; ++k) {
+      const SlotDelta d = deltas.count(k) ? deltas[k] : SlotDelta{};
+      std::size_t honest_commits = 0;
+      for (NodeId v = 0; v < r.n; ++v) {
+        if (!r.corrupt[v] && r.commits.has(v, k)) ++honest_commits;
+      }
+      const bool stalled = honest_commits < honest;
+      std::printf("  slot %-3u +%zu acc  +%zu edges  +%zu votes  +%zu adv  "
+                  "%zu commits%s\n",
+                  k, d.accusations, d.edges_removed, d.corrupt_votes,
+                  d.adversary_actions, d.commits,
+                  stalled ? "  <- STALLED" : "");
+      if (stalled) {
+        std::printf("           (%zu/%zu honest nodes committed; missing:",
+                    honest_commits, honest);
+        for (NodeId v = 0; v < r.n; ++v) {
+          if (!r.corrupt[v] && !r.commits.has(v, k)) std::printf(" %u", v);
+        }
+        std::printf(")\n");
+      }
+    }
   }
   std::printf("\ntotals: %zu accusations, %zu trust-edge removals, "
               "%zu corrupt votes, %zu adversary actions over %llu rounds\n",
