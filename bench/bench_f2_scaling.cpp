@@ -6,6 +6,9 @@
 //   MR-style baseline  ~ n^2
 //   phase-king         ~ n^2..n^3 (textbook variant, see DESIGN.md)
 //   Dolev-Strong       ~ n^3      (worst case, plain signatures)
+#include <cstdint>
+#include <initializer_list>
+
 #include "bench_common.hpp"
 
 namespace ambb::bench {
@@ -16,6 +19,19 @@ struct Series {
   double expected_low, expected_high;
   std::vector<double> ns, costs;
 };
+
+/// CI smoke mode (scripts/ci.sh perf_smoke lane): AMBB_F2_SMOKE=1 trims
+/// every series to its smallest n. The labels of the surviving rows are
+/// unchanged, so their measurement fields can be diffed bit-for-bit
+/// against the committed BENCH_f2_scaling.json.
+bool smoke_mode() { return std::getenv("AMBB_F2_SMOKE") != nullptr; }
+
+/// The full sweep, or just its head in smoke mode.
+std::vector<std::uint32_t> sweep(std::initializer_list<std::uint32_t> ns) {
+  std::vector<std::uint32_t> v(ns);
+  if (smoke_mode()) v.resize(1);
+  return v;
+}
 
 void run_scaling() {
   print_header(
@@ -30,8 +46,12 @@ void run_scaling() {
   // of AMBB_BENCH_JOBS).
   std::vector<Job> jobs;
 
+  // The n=128/256 rows are new with the zero-copy hot path (DESIGN.md
+  // §14): at the pre-arena cost per round they were out of reach.
+  const std::vector<std::uint32_t> alg4_ns =
+      sweep({24u, 32u, 48u, 64u, 128u, 256u});
   Series alg4{"Alg.4 (mixed adv, eps=0.2)", 0.7, 1.6, {}, {}};
-  for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
+  for (std::uint32_t n : alg4_ns) {
     CommonParams p;
     p.n = n;
     p.f = static_cast<std::uint32_t>(0.3 * n);
@@ -44,8 +64,9 @@ void run_scaling() {
     alg4.ns.push_back(n);
   }
 
+  const std::vector<std::uint32_t> mr_ns = sweep({24u, 32u, 48u, 64u});
   Series mr{"MR-style baseline (mixed adv)", 1.6, 2.5, {}, {}};
-  for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
+  for (std::uint32_t n : mr_ns) {
     CommonParams p;
     p.n = n;
     p.f = static_cast<std::uint32_t>(0.3 * n);
@@ -58,8 +79,9 @@ void run_scaling() {
     mr.ns.push_back(n);
   }
 
+  const std::vector<std::uint32_t> quad_ns = sweep({12u, 16u, 24u, 32u});
   Series s_quad{"Alg.5.2 (silent adv, f=n/2)", 1.5, 2.6, {}, {}};
-  for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
+  for (std::uint32_t n : quad_ns) {
     CommonParams p;
     p.n = n;
     p.f = n / 2;
@@ -71,8 +93,9 @@ void run_scaling() {
     s_quad.ns.push_back(n);
   }
 
+  const std::vector<std::uint32_t> dsw_ns = sweep({12u, 16u, 24u, 32u});
   Series dsw{"Dolev-Strong plain (stagger, f=n/2)", 2.3, 3.4, {}, {}};
-  for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
+  for (std::uint32_t n : dsw_ns) {
     CommonParams p;
     p.n = n;
     p.f = n / 2;
@@ -84,8 +107,9 @@ void run_scaling() {
     dsw.ns.push_back(n);
   }
 
+  const std::vector<std::uint32_t> pk_ns = sweep({10u, 13u, 19u, 25u});
   Series s_pk{"phase-king (confuse, f<n/3)", 1.6, 3.2, {}, {}};
-  for (std::uint32_t n : {10u, 13u, 19u, 25u}) {
+  for (std::uint32_t n : pk_ns) {
     CommonParams p;
     p.n = n;
     p.f = (n - 1) / 3;
@@ -99,17 +123,27 @@ void run_scaling() {
 
   const std::vector<RunResult> results = run_jobs(jobs);
   std::size_t i = 0;
-  for (std::uint32_t n : {24u, 32u, 48u, 64u}) {
+  for (std::uint32_t n : alg4_ns) {
     alg4.costs.push_back(results[i++].amortized_tail(2 * n));
   }
-  for (int k = 0; k < 4; ++k) {
+  for (std::size_t k = 0; k < mr_ns.size(); ++k) {
     mr.costs.push_back(results[i++].amortized_tail(4));
   }
-  for (std::uint32_t n : {12u, 16u, 24u, 32u}) {
+  for (std::uint32_t n : quad_ns) {
     s_quad.costs.push_back(results[i++].amortized_tail(2 * n));
   }
-  for (int k = 0; k < 4; ++k) dsw.costs.push_back(results[i++].amortized());
-  for (int k = 0; k < 4; ++k) s_pk.costs.push_back(results[i++].amortized());
+  for (std::size_t k = 0; k < dsw_ns.size(); ++k) {
+    dsw.costs.push_back(results[i++].amortized());
+  }
+  for (std::size_t k = 0; k < pk_ns.size(); ++k) {
+    s_pk.costs.push_back(results[i++].amortized());
+  }
+
+  if (smoke_mode()) {
+    std::printf("\nAMBB_F2_SMOKE=1: single-n rows only, slope table "
+                "skipped (needs the full sweep).\n");
+    return;
+  }
 
   TextTable t({"protocol", "n sweep", "measured slope", "paper-expected"});
   for (const Series* s : {&alg4, &mr, &s_quad, &dsw, &s_pk}) {

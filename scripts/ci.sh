@@ -5,8 +5,10 @@
 #   scripts/ci.sh tier1    # only the tier-1 build + full test suite
 #   scripts/ci.sh trace    # only the trace suite (`ctest -L trace`) + a
 #                          # sweep --trace-dir smoke run
-#   scripts/ci.sh tsan     # only the TSan build + `ctest -L "engine|ext"`
-#   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine|ext"`
+#   scripts/ci.sh tsan     # only the TSan build + `ctest -L "engine|ext|arena"`
+#   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine|ext|arena"`
+#   scripts/ci.sh perf_smoke  # bench_f2_scaling smoke rows vs the
+#                             # committed BENCH_f2_scaling.json
 #
 # The TSan stage rebuilds into build-tsan/ (see CMakePresets.json) and runs
 # exactly the engine-labelled tests: they exercise the worker pool with
@@ -29,7 +31,19 @@
 # Both sanitizer stages also take the ext suite (erasure coder, Merkle
 # proofs, the long-message extension driver): GF(2^8) table indexing and
 # the nested base-family simulation inside each ext cell are prime
-# out-of-bounds / shared-state candidates.
+# out-of-bounds / shared-state candidates. The arena suite (per-round
+# arena, interning caches — DESIGN.md §14) rides both sanitizer lanes
+# too: raw bump-pointer memory and thread_local caches under the worker
+# pool are exactly what ASan/TSan are for. test_alloc_hotpath stays out
+# of the sanitizer lanes by design (the sanitizer allocators bypass the
+# counting operator-new hooks).
+#
+# The perf_smoke stage is the measurement-drift gate for the zero-copy
+# hot path: it runs bench_f2_scaling in AMBB_F2_SMOKE=1 mode (one small-n
+# row per series, timing loops filtered out) and diffs every measurement
+# field against the committed BENCH_f2_scaling.json by run label
+# (scripts/check_bench_fields.py). Wall-clock and ns_* fields are
+# excluded: the gate catches semantic drift, not machine noise.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -68,7 +82,7 @@ tsan() {
   echo "== tsan: configure + build =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"
-  echo "== tsan: ctest -L 'engine|ext' =="
+  echo "== tsan: ctest -L 'engine|ext|arena' =="
   # halt_on_error promotes any race report to a test failure.
   TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j "$jobs"
 }
@@ -77,10 +91,27 @@ asan() {
   echo "== asan: configure + build =="
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
-  echo "== asan: ctest -L 'adversary|engine|ext' =="
+  echo "== asan: ctest -L 'adversary|engine|ext|arena' =="
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --preset asan -j "$jobs"
+}
+
+perf_smoke() {
+  echo "== perf_smoke: configure + build =="
+  cmake --preset default
+  cmake --build --preset default -j "$jobs" --target bench_f2_scaling
+  echo "== perf_smoke: bench_f2_scaling (AMBB_F2_SMOKE=1) =="
+  local dir
+  dir="$(mktemp -d)"
+  # --benchmark_filter matches nothing: skip the wall-clock timing loops,
+  # the gate only needs the checked measurement rows.
+  (cd "$dir" && AMBB_F2_SMOKE=1 "$OLDPWD/build/bench/bench_f2_scaling" \
+      --benchmark_filter='^$')
+  echo "== perf_smoke: measurement-field diff vs committed golden =="
+  python3 scripts/check_bench_fields.py \
+      BENCH_f2_scaling.json "$dir/BENCH_f2_scaling.json"
+  rm -rf "$dir"
 }
 
 case "$stage" in
@@ -88,14 +119,16 @@ case "$stage" in
   trace) trace ;;
   tsan) tsan ;;
   asan) asan ;;
+  perf_smoke) perf_smoke ;;
   all)
     tier1
     trace
     tsan
     asan
+    perf_smoke
     ;;
   *)
-    echo "usage: $0 [tier1|trace|tsan|asan|all]" >&2
+    echo "usage: $0 [tier1|trace|tsan|asan|perf_smoke|all]" >&2
     exit 2
     ;;
 esac

@@ -6,18 +6,19 @@
 #include "common/byte_buf.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "crypto/intern.hpp"
 
 namespace ambb::ds {
 
 std::vector<std::string> kind_names() { return {"relay"}; }
 
 Digest relay_digest(Slot k, Value v) {
-  Encoder e;
+  Encoder& e = Encoder::scratch();
+  e.reserve(32);
   e.put_tag("ds-relay");
   e.put_u32(k);
   e.put_u64(v);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  return DigestCache::local().hash("ds-relay", e.view());
 }
 
 std::uint64_t size_bits(const Msg& m, const Context& ctx) {

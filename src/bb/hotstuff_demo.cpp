@@ -4,6 +4,7 @@
 #include "common/byte_buf.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "crypto/intern.hpp"
 #include <algorithm>
 
 #include "runner/assemble.hpp"
@@ -16,12 +17,12 @@ std::vector<std::string> kind_names() {
 
 namespace {
 Digest tagged_digest(const char* tag, Slot k, Value v) {
-  Encoder e;
+  Encoder& e = Encoder::scratch();
+  e.reserve(32);
   e.put_tag(tag);
   e.put_u32(k);
   e.put_u64(v);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  return DigestCache::local().hash(tag, e.view());
 }
 }  // namespace
 

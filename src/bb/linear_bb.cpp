@@ -6,6 +6,7 @@
 #include "common/byte_buf.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "crypto/intern.hpp"
 
 namespace ambb::linear {
 
@@ -81,36 +82,78 @@ std::uint64_t CostPolicy::size_bits(const Msg& m) const {
   return linear::size_bits(m, wire);
 }
 
+// The digest helpers below run on the per-delivery hot path (every
+// recipient re-derives the digest it verifies). Each one encodes into the
+// thread-local scratch encoder — no per-call buffer — and resolves through
+// the interning cache, which memoizes Sha256::hash keyed on the full
+// (tag, canonical bytes) pair. Digest values are bit-identical to hashing
+// the canonical bytes directly (the tag only keys the cache).
+//
+// On top of the shared cache, the two hottest helpers keep a one-entry
+// last-arguments memo: all n recipients of a multicast re-derive the same
+// digest back to back, so consecutive calls repeat arguments almost
+// always, and the memo answers them with three integer compares instead
+// of an encode + cache probe. Purely an observer of a pure function.
+
 Digest vote_digest(Slot k, Epoch i, Value m) {
-  Encoder e;
+  struct Memo { Slot k; Epoch i; Value m; Digest d; bool set; };
+  thread_local Memo memo{0, 0, 0, {}, false};
+  if (memo.set && memo.k == k && memo.i == i && memo.m == m) return memo.d;
+  Encoder& e = Encoder::scratch();
+  e.reserve(32);
   e.put_tag("vote");
   e.put_u32(k);
   e.put_u16(static_cast<std::uint16_t>(i));
   e.put_u64(m);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  memo = Memo{k, i, m, DigestCache::local().hash("vote", e.view()), true};
+  return memo.d;
 }
 
 Digest commit_digest(Slot k, Epoch i, Value m) {
-  Encoder e;
+  struct Memo { Slot k; Epoch i; Value m; Digest d; bool set; };
+  thread_local Memo memo{0, 0, 0, {}, false};
+  if (memo.set && memo.k == k && memo.i == i && memo.m == m) return memo.d;
+  Encoder& e = Encoder::scratch();
+  e.reserve(32);
   e.put_tag("commit");
   e.put_u32(k);
   e.put_u16(static_cast<std::uint16_t>(i));
   e.put_u64(m);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  memo = Memo{k, i, m, DigestCache::local().hash("commit", e.view()), true};
+  return memo.d;
 }
 
 Digest accuse_digest(NodeId accused) {
-  Encoder e;
+  Encoder& e = Encoder::scratch();
+  e.reserve(16);
   e.put_tag("accuse");
   e.put_u32(accused);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  return DigestCache::local().hash("accuse", e.view());
 }
 
 Digest prop_digest(const Msg& prop) {
-  Encoder e;
+  // Last-args memo over every encoded field (the signature is NOT part of
+  // the digest, so it is rightly absent from the key): all n recipients
+  // validate the same multicast proposal back to back.
+  struct Memo {
+    Slot k;
+    Epoch i;
+    Value m;
+    bool has_cert;
+    Epoch cert_epoch;
+    Digest cert_mac;
+    Digest d;
+    bool set;
+  };
+  thread_local Memo memo{0, 0, 0, false, 0, {}, {}, false};
+  if (memo.set && memo.k == prop.slot && memo.i == prop.epoch &&
+      memo.m == prop.value && memo.has_cert == prop.has_cert &&
+      (!prop.has_cert || (memo.cert_epoch == prop.cert_epoch &&
+                          memo.cert_mac == prop.cert.mac))) {
+    return memo.d;
+  }
+  Encoder& e = Encoder::scratch();
+  e.reserve(64);
   e.put_tag("prop");
   e.put_u32(prop.slot);
   e.put_u16(static_cast<std::uint16_t>(prop.epoch));
@@ -121,8 +164,12 @@ Digest prop_digest(const Msg& prop) {
     e.put_bytes(std::span<const std::uint8_t>(prop.cert.mac.data(),
                                               prop.cert.mac.size()));
   }
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  memo = Memo{prop.slot,       prop.epoch,
+              prop.value,      prop.has_cert,
+              prop.cert_epoch, prop.cert.mac,
+              DigestCache::local().hash("prop", e.view()),
+              true};
+  return memo.d;
 }
 
 // ---------------------------------------------------------------------------
@@ -143,11 +190,19 @@ LinearNode::LinearNode(NodeId id, const Context* ctx,
       star4_forwarded_(ctx->sched.epochs_per_slot()),
       lead_vote_from_(ctx->n),
       lead_cert_vote_from_(ctx->n),
-      fresh_accuse_from_(ctx->n, 0) {}
+      fresh_accuse_from_(ctx->n, 0),
+      answered_scratch_(ctx->n) {
+  // Leadership rotates across slots, so every node eventually collects
+  // votes. Reserving up front keeps steady-state rounds allocation-free
+  // even for a node's FIRST stint as leader (tests/test_alloc_hotpath).
+  lead_votes_.reserve(ctx->n);
+  lead_cert_votes_.reserve(ctx->n);
+  prop_values_seen_.reserve(4);
+}
 
-void LinearNode::out(RoundApi<Msg>& api, NodeId to, Msg m) {
+void LinearNode::out(RoundApi<Msg>& api, NodeId to, const Msg& m) {
   if (dev_ != nullptr && dev_->drop_send(round_, offset_, m.kind, to)) return;
-  api.send(to, std::move(m));
+  api.send(to, m);
 }
 
 void LinearNode::out_multicast(RoundApi<Msg>& api, const Msg& m) {
@@ -181,6 +236,7 @@ void LinearNode::reset_slot(Slot k) {
 
 void LinearNode::reset_epoch(Epoch i) {
   cur_epoch_ = i;
+  cur_leader_ = ctx_->leader(cur_slot_, i);
   sent_collect_ = false;
   collect_had_cert_ = false;
   collect_epoch_ = 0;
@@ -285,6 +341,7 @@ void LinearNode::handle_accuse(const Msg& m, bool forwarded,
   accuse_seen_[accuser].set(target);
   fresh_accuse_from_[accuser] = 1;
   fresh_pairs_.emplace_back(accuser, target);
+  fresh_dirty_ = true;
 
   // (*2): forward each accusation to the accused once, so selectively
   // delivered accusations still reach their target. The dedup above
@@ -362,8 +419,11 @@ bool LinearNode::validate_proposal(const Msg& m, NodeId leader) const {
 
 void LinearNode::process_inbox(Round r, std::span<const Delivery<Msg>> inbox,
                                RoundApi<Msg>& api) {
-  std::fill(fresh_accuse_from_.begin(), fresh_accuse_from_.end(), 0);
-  fresh_pairs_.clear();
+  if (fresh_dirty_) {
+    std::fill(fresh_accuse_from_.begin(), fresh_accuse_from_.end(), 0);
+    fresh_pairs_.clear();
+    fresh_dirty_ = false;
+  }
   for (const auto& env : inbox) {
     const Msg& m = env.msg();
     switch (m.kind) {
@@ -740,7 +800,9 @@ void LinearNode::respond_to_querier(NodeId v, RoundApi<Msg>& api) {
 void LinearNode::do_respond1(std::span<const Delivery<Msg>> inbox,
                              RoundApi<Msg>& api) {
   if (!have_commit_proof_ || !ctx_->opts.use_query_path) return;
-  BitVec answered(ctx_->n);
+  if (inbox.empty() && fresh_pairs_.empty()) return;  // nothing to answer
+  BitVec& answered = answered_scratch_;  // reused; avoids per-round alloc
+  answered.clear_all();
   for (const auto& env : inbox) {
     const Msg& m = env.msg();
     if (m.kind != Kind::kQuery1 || m.slot != cur_slot_ ||
@@ -804,7 +866,9 @@ Msg LinearNode::build_query2() const {
 void LinearNode::do_respond2(std::span<const Delivery<Msg>> inbox,
                              RoundApi<Msg>& api) {
   if (!have_commit_proof_ || !ctx_->opts.use_query_path) return;
-  BitVec answered(ctx_->n);
+  if (inbox.empty()) return;  // responses are driven by queries alone
+  BitVec& answered = answered_scratch_;  // reused; avoids per-round alloc
+  answered.clear_all();
   for (const auto& env : inbox) {
     const Msg& m = env.msg();
     if (m.slot != cur_slot_ || m.epoch != cur_epoch_) continue;
@@ -838,9 +902,32 @@ void LinearNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
   (void)rushed;
   round_ = r;
   const Schedule& sched = ctx_->sched;
-  const Slot k = sched.slot_of(r);
-  const Epoch i = sched.epoch_of(r);
-  offset_ = sched.offset_of(r);
+  // Schedule position. Rounds arrive consecutively, so the common case is
+  // an incremental step of the cached (slot, epoch, offset) triple; the
+  // full divisions only run on a cache miss (first round, or a test
+  // driving rounds out of order).
+  Slot k;
+  Epoch i;
+  if (r == sched_next_r_) {
+    k = sched_k_;
+    i = sched_i_;
+    offset_ = sched_off_;
+  } else {
+    k = sched.slot_of(r);
+    i = sched.epoch_of(r);
+    offset_ = sched.offset_of(r);
+  }
+  sched_next_r_ = r + 1;
+  sched_k_ = k;
+  sched_i_ = i;
+  sched_off_ = offset_ + 1;
+  if (sched_off_ == Schedule::kRoundsPerEpoch) {
+    sched_off_ = 0;
+    if (++sched_i_ == sched.epochs_per_slot()) {
+      sched_i_ = 0;
+      ++sched_k_;
+    }
+  }
 
   if (k != cur_slot_) {
     reset_slot(k);
@@ -851,8 +938,9 @@ void LinearNode::on_round(Round r, std::span<const Delivery<Msg>> inbox,
 
   if (dev_ != nullptr && dev_->silent(r)) return;
 
-  // "At any point" rules first.
-  process_inbox(r, inbox, api);
+  // "At any point" rules first. An empty inbox with clean fresh-accusation
+  // buffers has nothing to do — the common case for gated nodes.
+  if (!inbox.empty() || fresh_dirty_) process_inbox(r, inbox, api);
 
   // Progress steps are gated: skip if committed in this slot or the epoch
   // leader has a corrupt-proof. Respond-1/2 stay live (see header).
@@ -915,7 +1003,9 @@ RunResult run_linear(const LinearConfig& cfg) {
   Graph expander = build_expander(cfg.n, cfg.eps, cfg.seed ^ 0xE0A11DE5ULL);
 
   CommitLog commits(cfg.n);
+  commits.reserve(cfg.slots);
   CostLedger ledger(kind_names());
+  ledger.reserve_slots(cfg.slots + 1);
 
   Context ctx;
   ctx.n = cfg.n;
@@ -952,6 +1042,7 @@ RunResult run_linear(const LinearConfig& cfg) {
   }
   const std::uint64_t total_rounds =
       static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
+  sim.reserve_rounds(total_rounds);
   auto adversary = make_adversary(cfg.adversary, &ctx,
                                   cfg.seed ^ 0xAD7E25A1ULL, total_rounds);
   if (adversary != nullptr) sim.bind_adversary(adversary.get());

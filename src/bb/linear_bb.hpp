@@ -288,7 +288,7 @@ class LinearNode final : public Actor<Msg> {
 
   void reset_slot(Slot k);
   void reset_epoch(Epoch i);
-  void out(RoundApi<Msg>& api, NodeId to, Msg m);
+  void out(RoundApi<Msg>& api, NodeId to, const Msg& m);
   void out_multicast(RoundApi<Msg>& api, const Msg& m);
   /// Smallest w != self with !accused_by_me(w) and !seen_accuse(w, leader).
   std::optional<NodeId> pick_helper(NodeId leader) const;
@@ -297,13 +297,22 @@ class LinearNode final : public Actor<Msg> {
   std::optional<NodeId> expected_responder(NodeId querier,
                                            NodeId leader) const;
   bool validate_proposal(const Msg& m, NodeId leader) const;
-  NodeId cur_leader() const { return ctx_->leader(cur_slot_, cur_epoch_); }
+  /// Leader of (cur_slot_, cur_epoch_), recomputed by reset_epoch (cached:
+  /// the Context::leader indirection is a std::function in epoch 0).
+  NodeId cur_leader() const { return cur_leader_; }
 
   NodeId id_;
   const Context* ctx_;
   std::unique_ptr<Deviation> dev_;
   Round round_ = 0;
   std::uint32_t offset_ = 0;
+
+  // Incremental schedule cache: position the NEXT round will have if it
+  // arrives consecutively (it always does under the simulator).
+  Round sched_next_r_ = static_cast<Round>(-1);
+  Slot sched_k_ = 0;
+  Epoch sched_i_ = 0;
+  std::uint32_t sched_off_ = 0;
 
   // ---- persistent across slots ----
   BitVec accused_by_me_;
@@ -331,6 +340,7 @@ class LinearNode final : public Actor<Msg> {
 
   // ---- per epoch ----
   Epoch cur_epoch_ = 0;
+  NodeId cur_leader_ = kNoNode;
   bool sent_collect_ = false;
   bool collect_had_cert_ = false;  ///< freshness baseline I sent in Collect
   Epoch collect_epoch_ = 0;
@@ -353,9 +363,16 @@ class LinearNode final : public Actor<Msg> {
   bool lead_cert_made_ = false;
   bool lead_proof_made_ = false;
 
-  // round-local: accusations that first arrived this round
+  // round-local: accusations that first arrived this round. fresh_dirty_
+  // tracks whether the buffers hold anything, so the (common) quiet round
+  // skips the O(n) clear.
   std::vector<std::uint8_t> fresh_accuse_from_;
   std::vector<std::pair<NodeId, NodeId>> fresh_pairs_;  ///< (accuser, target)
+  bool fresh_dirty_ = false;
+
+  // Reused Respond-round scratch bitmap (who was already answered); a
+  // member so steady-state rounds allocate nothing.
+  BitVec answered_scratch_;
 };
 
 /// Driver configuration for a full multi-shot run.

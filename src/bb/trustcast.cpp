@@ -4,6 +4,7 @@
 
 #include "common/byte_buf.hpp"
 #include "common/check.hpp"
+#include "crypto/intern.hpp"
 
 namespace ambb::quad {
 
@@ -45,29 +46,32 @@ std::uint64_t CostPolicy::size_bits(const Msg& m) const {
   return quad::size_bits(m, wire);
 }
 
+// Hot-path digests: thread-local scratch encoder + interning cache (the
+// tag keys the cache only; digest bytes are unchanged).
+
 Digest prop_digest(Slot k, Value v) {
-  Encoder e;
+  Encoder& e = Encoder::scratch();
+  e.reserve(32);
   e.put_tag("tc-prop");
   e.put_u32(k);
   e.put_u64(v);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  return DigestCache::local().hash("tc-prop", e.view());
 }
 
 Digest accuse_digest(NodeId accused) {
-  Encoder e;
+  Encoder& e = Encoder::scratch();
+  e.reserve(16);
   e.put_tag("tc-accuse");
   e.put_u32(accused);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  return DigestCache::local().hash("tc-accuse", e.view());
 }
 
 Digest corrupt_digest(NodeId target) {
-  Encoder e;
+  Encoder& e = Encoder::scratch();
+  e.reserve(16);
   e.put_tag("tc-corrupt");
   e.put_u32(target);
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
+  return DigestCache::local().hash("tc-corrupt", e.view());
 }
 
 TrustCastEngine::TrustCastEngine(NodeId id, const Context* ctx)

@@ -1,0 +1,258 @@
+// Per-round arena allocation (DESIGN.md §14).
+//
+// The simulator's hot-path containers (traffic records, per-node inboxes)
+// have strict round-scoped lifetimes: everything allocated while a round
+// executes dies together at the next round boundary. A chunked monotonic
+// arena matches that shape exactly — allocation is a bump-pointer add,
+// deallocation is a wholesale reset() that rewinds the cursor and keeps
+// every chunk for reuse, so a steady-state round performs zero heap
+// allocations (chunks are only ever acquired while the high-water mark is
+// still growing).
+//
+// The arena is NOT thread-safe; each Simulation / TrafficLog owns its own
+// (the experiment engine's job-isolation rule already guarantees one
+// thread per Simulation). Arenas are held behind unique_ptr by their
+// owners so container moves/swaps never invalidate the arena address that
+// live ArenaVectors point at.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+class Arena {
+ public:
+  struct Stats {
+    std::uint64_t allocations = 0;     ///< lifetime allocate() calls
+    std::uint64_t bytes_requested = 0; ///< lifetime bytes handed out
+    std::uint64_t resets = 0;
+    std::uint64_t chunks_acquired = 0; ///< heap chunks ever allocated
+    std::size_t reserved_bytes = 0;    ///< sum of owned chunk capacities
+    std::size_t high_water_bytes = 0;  ///< max live bytes in any cycle
+  };
+
+  static constexpr std::size_t kDefaultChunkBytes = std::size_t{64} << 10;
+
+  explicit Arena(std::size_t first_chunk_bytes = kDefaultChunkBytes)
+      : first_chunk_bytes_(first_chunk_bytes == 0 ? kDefaultChunkBytes
+                                                  : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `size` bytes aligned to `align` (any power of two,
+  /// over-aligned types included). The memory is uninitialized and valid
+  /// until the next reset().
+  void* allocate(std::size_t size, std::size_t align) {
+    AMBB_CHECK(align != 0 && (align & (align - 1)) == 0);
+    stats_.allocations += 1;
+    stats_.bytes_requested += size;
+    for (;;) {
+      if (cur_ < chunks_.size()) {
+        Chunk& c = chunks_[cur_];
+        const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(c.mem.get());
+        const std::uintptr_t aligned = (base + c.used + (align - 1)) & ~static_cast<std::uintptr_t>(align - 1);
+        const std::size_t offset = static_cast<std::size_t>(aligned - base);
+        if (offset + size <= c.size) {
+          c.used = offset + size;
+          live_ = live_head_ + c.used;
+          if (live_ > stats_.high_water_bytes) stats_.high_water_bytes = live_;
+          return reinterpret_cast<void*>(aligned);
+        }
+        // Chunk exhausted: seal it and move on (possibly to an already
+        // owned chunk retained from a previous cycle).
+        live_head_ += c.size;
+        c.used = c.size;
+        ++cur_;
+        continue;
+      }
+      new_chunk(size + align);
+    }
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Wholesale reset: every prior allocation becomes invalid, all chunks
+  /// are kept for reuse. O(chunks), no heap traffic.
+  void reset() {
+    for (std::size_t i = 0; i <= cur_ && i < chunks_.size(); ++i) {
+      chunks_[i].used = 0;
+    }
+    cur_ = 0;
+    live_ = 0;
+    live_head_ = 0;
+    stats_.resets += 1;
+  }
+
+  /// Bytes live since the last reset (excluding per-chunk tail waste).
+  std::size_t live_bytes() const { return live_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> mem;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  void new_chunk(std::size_t min_bytes) {
+    // Geometric growth keeps the chunk count logarithmic in the final
+    // footprint, so post-warmup cycles never touch the heap.
+    std::size_t want = chunks_.empty() ? first_chunk_bytes_
+                                       : stats_.reserved_bytes;
+    if (want < min_bytes) want = min_bytes;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(want), want, 0});
+    stats_.chunks_acquired += 1;
+    stats_.reserved_bytes += want;
+  }
+
+  std::vector<Chunk> chunks_;
+  std::size_t cur_ = 0;        ///< index of the chunk being bumped
+  std::size_t live_ = 0;
+  std::size_t live_head_ = 0;  ///< bytes consumed by sealed chunks
+  std::size_t first_chunk_bytes_;
+  Stats stats_;
+};
+
+/// A contiguous vector whose storage comes from an Arena. Growth abandons
+/// the old block (the arena reclaims it wholesale at reset); clear() keeps
+/// the current block; reset() forgets the storage entirely — it must be
+/// called before (or because) the owning arena resets — while remembering
+/// the high-water size so the first append of the next cycle acquires the
+/// full steady-state capacity in one arena allocation.
+///
+/// Move-only: the destructor runs element destructors but never frees
+/// memory (the arena owns it).
+template <typename T>
+class ArenaVector {
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  ArenaVector() = default;
+  explicit ArenaVector(Arena* arena) : arena_(arena) {}
+
+  ArenaVector(const ArenaVector&) = delete;
+  ArenaVector& operator=(const ArenaVector&) = delete;
+
+  ArenaVector(ArenaVector&& o) noexcept
+      : arena_(o.arena_), data_(o.data_), size_(o.size_), cap_(o.cap_),
+        hint_(o.hint_) {
+    o.data_ = nullptr;
+    o.size_ = o.cap_ = 0;
+  }
+
+  ArenaVector& operator=(ArenaVector&& o) noexcept {
+    if (this != &o) {
+      destroy_elements();
+      arena_ = o.arena_;
+      data_ = o.data_;
+      size_ = o.size_;
+      cap_ = o.cap_;
+      hint_ = o.hint_;
+      o.data_ = nullptr;
+      o.size_ = o.cap_ = 0;
+    }
+    return *this;
+  }
+
+  ~ArenaVector() { destroy_elements(); }
+
+  /// Bind to an arena; only valid while empty.
+  void set_arena(Arena* arena) {
+    AMBB_CHECK(size_ == 0);
+    arena_ = arena;
+    data_ = nullptr;
+    cap_ = 0;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t capacity() const { return cap_; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void reserve(std::size_t cap) {
+    if (cap > cap_) relocate(cap);
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == cap_) grow();
+    T* p = data_ + size_;
+    ::new (static_cast<void*>(p)) T(std::forward<Args>(args)...);
+    ++size_;
+    return *p;
+  }
+
+  void push_back(const T& v) { emplace_back(v); }
+  void push_back(T&& v) { emplace_back(std::move(v)); }
+
+  /// Destroy elements, keep the storage block.
+  void clear() {
+    destroy_elements();
+    size_ = 0;
+  }
+
+  /// Destroy elements and drop the storage reference (required around an
+  /// Arena::reset); the next append reallocates at high-water capacity.
+  void reset() {
+    if (size_ > hint_) hint_ = size_;
+    destroy_elements();
+    data_ = nullptr;
+    size_ = cap_ = 0;
+  }
+
+ private:
+  void grow() {
+    std::size_t want = cap_ * 2;
+    if (want < hint_) want = hint_;
+    if (want < 8) want = 8;
+    relocate(want);
+  }
+
+  void relocate(std::size_t new_cap) {
+    AMBB_CHECK(arena_ != nullptr);
+    T* nd = static_cast<T*>(arena_->allocate(new_cap * sizeof(T), alignof(T)));
+    for (std::size_t i = 0; i < size_; ++i) {
+      ::new (static_cast<void*>(nd + i)) T(std::move(data_[i]));
+      data_[i].~T();
+    }
+    data_ = nd;
+    cap_ = new_cap;
+  }
+
+  void destroy_elements() {
+    if constexpr (!std::is_trivially_destructible_v<T>) {
+      for (std::size_t i = 0; i < size_; ++i) data_[i].~T();
+    }
+  }
+
+  Arena* arena_ = nullptr;
+  T* data_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t cap_ = 0;
+  std::size_t hint_ = 0;  ///< high-water size across reset() cycles
+};
+
+}  // namespace ambb

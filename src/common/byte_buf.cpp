@@ -4,29 +4,10 @@
 
 namespace ambb {
 
-void Encoder::put_u16(std::uint16_t v) {
-  put_u8(static_cast<std::uint8_t>(v >> 8));
-  put_u8(static_cast<std::uint8_t>(v));
-}
-
-void Encoder::put_u32(std::uint32_t v) {
-  put_u16(static_cast<std::uint16_t>(v >> 16));
-  put_u16(static_cast<std::uint16_t>(v));
-}
-
-void Encoder::put_u64(std::uint64_t v) {
-  put_u32(static_cast<std::uint32_t>(v >> 32));
-  put_u32(static_cast<std::uint32_t>(v));
-}
-
-void Encoder::put_bytes(std::span<const std::uint8_t> bytes) {
-  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
-}
-
-void Encoder::put_tag(std::string_view tag) {
-  // Length-prefixed so distinct tag sequences cannot collide.
-  put_u16(static_cast<std::uint16_t>(tag.size()));
-  for (char c : tag) put_u8(static_cast<std::uint8_t>(c));
+Encoder& Encoder::scratch() {
+  thread_local Encoder e;
+  e.clear();
+  return e;
 }
 
 std::uint8_t Decoder::get_u8() {

@@ -4,6 +4,13 @@
 // being hashed; this guarantees that two semantically different messages
 // never produce the same digest (all fields are length/width-explicit,
 // big-endian).
+//
+// Hot-path usage: the digest helpers run millions of times per benchmark
+// run, so the Encoder supports a scratch-backed mode — Encoder::scratch()
+// returns a cleared thread-local instance whose buffer capacity persists
+// across calls, making steady-state encodings heap-allocation-free. An
+// Encoder can also be constructed over an external reusable buffer for
+// callers that manage their own scratch storage.
 #pragma once
 
 #include <cstdint>
@@ -16,19 +23,61 @@ namespace ambb {
 
 class Encoder {
  public:
-  void put_u8(std::uint8_t v) { buf_.push_back(v); }
-  void put_u16(std::uint16_t v);
-  void put_u32(std::uint32_t v);
-  void put_u64(std::uint64_t v);
-  void put_bytes(std::span<const std::uint8_t> bytes);
-  /// Tag strings disambiguate message kinds inside digests ("vote", ...).
-  void put_tag(std::string_view tag);
+  Encoder() : buf_(&own_) {}
 
-  const std::vector<std::uint8_t>& bytes() const { return buf_; }
-  std::size_t size() const { return buf_.size(); }
+  /// Scratch-backed mode: encode into `external` (cleared on entry, never
+  /// shrunk) instead of an owned buffer. The buffer must outlive the
+  /// Encoder.
+  explicit Encoder(std::vector<std::uint8_t>* external) : buf_(external) {
+    buf_->clear();
+  }
+
+  // buf_ may point at own_, so copies/moves would dangle; encoders are
+  // cheap to construct where needed and scratch() covers the hot path.
+  Encoder(const Encoder&) = delete;
+  Encoder& operator=(const Encoder&) = delete;
+
+  /// A cleared, reusable thread-local Encoder. Capacity persists across
+  /// calls, so steady-state encodings perform zero heap allocations. Do
+  /// not hold the reference across a call into code that may itself use
+  /// scratch() — there is exactly one per thread.
+  static Encoder& scratch();
+
+  void reserve(std::size_t n) { buf_->reserve(n); }
+  void clear() { buf_->clear(); }
+
+  void put_u8(std::uint8_t v) { buf_->push_back(v); }
+  void put_u16(std::uint16_t v) {
+    put_u8(static_cast<std::uint8_t>(v >> 8));
+    put_u8(static_cast<std::uint8_t>(v));
+  }
+  void put_u32(std::uint32_t v) {
+    put_u16(static_cast<std::uint16_t>(v >> 16));
+    put_u16(static_cast<std::uint16_t>(v));
+  }
+  void put_u64(std::uint64_t v) {
+    put_u32(static_cast<std::uint32_t>(v >> 32));
+    put_u32(static_cast<std::uint32_t>(v));
+  }
+  void put_bytes(std::span<const std::uint8_t> bytes) {
+    buf_->insert(buf_->end(), bytes.begin(), bytes.end());
+  }
+  /// Tag strings disambiguate message kinds inside digests ("vote", ...).
+  /// Length-prefixed so distinct tag sequences cannot collide.
+  void put_tag(std::string_view tag) {
+    put_u16(static_cast<std::uint16_t>(tag.size()));
+    for (char c : tag) put_u8(static_cast<std::uint8_t>(c));
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return *buf_; }
+  std::span<const std::uint8_t> view() const {
+    return std::span<const std::uint8_t>(buf_->data(), buf_->size());
+  }
+  std::size_t size() const { return buf_->size(); }
 
  private:
-  std::vector<std::uint8_t> buf_;
+  std::vector<std::uint8_t> own_;
+  std::vector<std::uint8_t>* buf_;
 };
 
 /// Matching decoder; used by codec round-trip tests and by components that

@@ -66,4 +66,28 @@ Digest HmacKey::mac(const Digest& message) const {
   return out.finalize();
 }
 
+PrfKey::PrfKey(const Digest& key) {
+  // Key block: two copies of the 32-byte key, compressed once up front.
+  std::array<std::uint8_t, 64> block;
+  std::memcpy(block.data(), key.data(), key.size());
+  std::memcpy(block.data() + key.size(), key.data(), key.size());
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(block.data(), block.size()));
+  keyed_ = h.midstate();
+}
+
+Digest PrfKey::mac(std::uint64_t domain, const Digest& d) const {
+  // 8 + 32 = 40 bytes; with padding this finalizes in ONE compression,
+  // assembled directly into the final block (no streaming machinery).
+  std::array<std::uint8_t, 40> buf;
+  for (int i = 0; i < 8; ++i) {
+    buf[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(domain >> (8 * (7 - i)));
+  }
+  std::memcpy(buf.data() + 8, d.data(), d.size());
+  return Sha256::finalize_block(keyed_,
+                                std::span<const std::uint8_t>(buf.data(),
+                                                              buf.size()));
+}
+
 }  // namespace ambb

@@ -1,29 +1,34 @@
 #include "crypto/merkle.hpp"
 
+#include <algorithm>
+
+#include "common/byte_buf.hpp"
 #include "common/check.hpp"
+#include "crypto/intern.hpp"
 
 namespace ambb::merkle {
 
+// Verification recomputes the same leaf/node hashes for every recipient of
+// a chunk, so both helpers go through the interning cache. The canonical
+// bytes (0x00|index|chunk, 0x01|left|right) are exactly what was hashed
+// before; the "mrk-*" tags only key the cache.
+
 Digest leaf_hash(std::uint32_t index, std::span<const std::uint8_t> chunk) {
-  Sha256 h;
-  std::uint8_t prefix[5];
-  prefix[0] = 0x00;
-  prefix[1] = static_cast<std::uint8_t>(index >> 24);
-  prefix[2] = static_cast<std::uint8_t>(index >> 16);
-  prefix[3] = static_cast<std::uint8_t>(index >> 8);
-  prefix[4] = static_cast<std::uint8_t>(index);
-  h.update(std::span<const std::uint8_t>(prefix, 5));
-  h.update(chunk);
-  return h.finalize();
+  Encoder& e = Encoder::scratch();
+  e.reserve(5 + chunk.size());
+  e.put_u8(0x00);
+  e.put_u32(index);
+  e.put_bytes(chunk);
+  return DigestCache::local().hash("mrk-leaf", e.view());
 }
 
 Digest node_hash(const Digest& left, const Digest& right) {
-  Sha256 h;
-  const std::uint8_t prefix = 0x01;
-  h.update(std::span<const std::uint8_t>(&prefix, 1));
-  h.update(std::span<const std::uint8_t>(left.data(), left.size()));
-  h.update(std::span<const std::uint8_t>(right.data(), right.size()));
-  return h.finalize();
+  std::uint8_t buf[65];
+  buf[0] = 0x01;
+  std::copy(left.begin(), left.end(), buf + 1);
+  std::copy(right.begin(), right.end(), buf + 33);
+  return DigestCache::local().hash("mrk-node",
+                                   std::span<const std::uint8_t>(buf, 65));
 }
 
 Tree Tree::build(const std::vector<Digest>& leaves) {

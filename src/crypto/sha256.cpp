@@ -5,6 +5,11 @@
 #include "common/check.hpp"
 #include "common/hex.hpp"
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define AMBB_SHA_NI_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace ambb {
 
 namespace {
@@ -26,6 +31,216 @@ inline std::uint32_t rotr(std::uint32_t x, int k) {
   return (x >> k) | (x << (32 - k));
 }
 
+#ifdef AMBB_SHA_NI_DISPATCH
+// SHA-NI compression (Intel SHA extensions). Computes exactly the same
+// FIPS 180-4 function as the scalar path below — digests are bit-identical
+// either way; only throughput differs (~10x per block). Selected at
+// runtime via cpuid so the binary still runs on CPUs without the
+// extension.
+__attribute__((target("sha,sse4.1")))
+void process_block_shani(std::array<std::uint32_t, 8>& state,
+                         const std::uint8_t* block) {
+  const __m128i kShuf =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  // Load state as the (ABEF, CDGH) pairs the sha256rnds2 instruction wants.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i state1 =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+  __m128i msg, msg0, msg1, msg2, msg3;
+
+  // Rounds 0-3
+  msg0 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 0)), kShuf);
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0xE9B5DBA5B5C0FBCFULL, 0x71374491428A2F98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 4-7
+  msg1 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16)), kShuf);
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0xAB1C5ED5923F82A4ULL, 0x59F111F13956C25BULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11
+  msg2 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32)), kShuf);
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0x550C7DC3243185BEULL, 0x12835B01D807AA98ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 12-15
+  msg3 = _mm_shuffle_epi8(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48)), kShuf);
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0xC19BF1749BDC06A7ULL, 0x80DEB1FE72BE5D74ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-19
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x240CA1CC0FC19DC6ULL, 0xEFBE4786E49B69C1ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 20-23
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x76F988DA5CB0A9DCULL, 0x4A7484AA2DE92C6FULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 24-27
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0xBF597FC7B00327C8ULL, 0xA831C66D983E5152ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 28-31
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0x1429296706CA6351ULL, 0xD5A79147C6E00BF3ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 32-35
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x53380D134D2C6DFCULL, 0x2E1B213827B70A85ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 36-39
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x92722C8581C2C92EULL, 0x766A0ABB650A7354ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 40-43
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0xC76C51A3C24B8B70ULL, 0xA81A664BA2BFE8A1ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 44-47
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0x106AA070F40E3585ULL, 0xD6990624D192E819ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 48-51
+  msg = _mm_add_epi32(
+      msg0, _mm_set_epi64x(0x34B0BCB52748774CULL, 0x1E376C0819A4C116ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 52-55
+  msg = _mm_add_epi32(
+      msg1, _mm_set_epi64x(0x682E6FF35B9CCA4FULL, 0x4ED8AA4A391C0CB3ULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 56-59
+  msg = _mm_add_epi32(
+      msg2, _mm_set_epi64x(0x8CC7020884C87814ULL, 0x78A5636F748F82EEULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 60-63
+  msg = _mm_add_epi32(
+      msg3, _mm_set_epi64x(0xC67178F2BEF9A3F7ULL, 0xA4506CEB90BEFFFAULL));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Back to the linear a..h layout.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), state1);
+}
+
+const bool kHaveShaNi =
+    __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+#endif  // AMBB_SHA_NI_DISPATCH
+
 }  // namespace
 
 Sha256::Sha256()
@@ -42,7 +257,30 @@ Sha256Midstate Sha256::midstate() const {
   return Sha256Midstate{state_, total_len_};
 }
 
+namespace {
+void compress_scalar(std::array<std::uint32_t, 8>& state,
+                     const std::uint8_t* block);
+
+/// Single compression-function application, hardware path if available.
+inline void compress(std::array<std::uint32_t, 8>& state,
+                     const std::uint8_t* block) {
+#ifdef AMBB_SHA_NI_DISPATCH
+  if (kHaveShaNi) {
+    process_block_shani(state, block);
+    return;
+  }
+#endif
+  compress_scalar(state, block);
+}
+}  // namespace
+
 void Sha256::process_block(const std::uint8_t* block) {
+  compress(state_, block);
+}
+
+namespace {
+void compress_scalar(std::array<std::uint32_t, 8>& state,
+                     const std::uint8_t* block) {
   std::uint32_t w[64];
   for (int i = 0; i < 16; ++i) {
     w[i] = static_cast<std::uint32_t>(block[4 * i]) << 24 |
@@ -58,8 +296,8 @@ void Sha256::process_block(const std::uint8_t* block) {
     w[i] = w[i - 16] + s0 + w[i - 7] + s1;
   }
 
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
 
   for (int i = 0; i < 64; ++i) {
     const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
@@ -78,14 +316,39 @@ void Sha256::process_block(const std::uint8_t* block) {
     a = t1 + t2;
   }
 
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+  state[5] += f;
+  state[6] += g;
+  state[7] += h;
+}
+}  // namespace
+
+Digest Sha256::finalize_block(const Sha256Midstate& mid,
+                              std::span<const std::uint8_t> tail) {
+  AMBB_CHECK(mid.processed_bytes % 64 == 0 && tail.size() <= 55);
+  std::uint8_t block[64];
+  // Guard the empty tail: memcpy from a null span data() is UB.
+  if (!tail.empty()) std::memcpy(block, tail.data(), tail.size());
+  block[tail.size()] = 0x80;
+  std::memset(block + tail.size() + 1, 0, 55 - tail.size());
+  const std::uint64_t bit_len = (mid.processed_bytes + tail.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    block[56 + i] = static_cast<std::uint8_t>(bit_len >> (8 * (7 - i)));
+  }
+  std::array<std::uint32_t, 8> st = mid.state;
+  compress(st, block);
+  Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(st[i] >> 24);
+    out[4 * i + 1] = static_cast<std::uint8_t>(st[i] >> 16);
+    out[4 * i + 2] = static_cast<std::uint8_t>(st[i] >> 8);
+    out[4 * i + 3] = static_cast<std::uint8_t>(st[i]);
+  }
+  return out;
 }
 
 void Sha256::update(std::span<const std::uint8_t> data) {
@@ -112,20 +375,17 @@ void Sha256::update(std::span<const std::uint8_t> data) {
   }
 }
 
-void Sha256::update(const std::string& s) {
-  update(std::span<const std::uint8_t>(
-      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
-}
-
 Digest Sha256::finalize() {
   AMBB_CHECK(!finalized_);
   finalized_ = true;
 
   const std::uint64_t bit_len = total_len_ * 8;
   std::uint8_t pad[72];
-  std::size_t pad_len = 0;
-  pad[pad_len++] = 0x80;
-  while ((total_len_ + pad_len) % 64 != 56) pad[pad_len++] = 0x00;
+  // 0x80 then zeros up to 56 mod 64 (closed form, not a byte loop).
+  const std::size_t rem = static_cast<std::size_t>(total_len_ % 64);
+  const std::size_t pad_len = (rem < 56) ? 56 - rem : 120 - rem;
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
 
   // Manually feed padding through the block machinery.
   std::size_t off = 0;
@@ -158,12 +418,6 @@ Digest Sha256::finalize() {
 Digest Sha256::hash(std::span<const std::uint8_t> data) {
   Sha256 h;
   h.update(data);
-  return h.finalize();
-}
-
-Digest Sha256::hash(const std::string& s) {
-  Sha256 h;
-  h.update(s);
   return h.finalize();
 }
 

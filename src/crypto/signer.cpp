@@ -1,5 +1,7 @@
 #include "crypto/signer.hpp"
 
+#include <atomic>
+
 #include "common/byte_buf.hpp"
 #include "common/check.hpp"
 #include "crypto/hmac.hpp"
@@ -8,23 +10,14 @@ namespace ambb {
 
 namespace {
 Digest derive_key(const Digest& master, std::uint64_t index) {
-  Encoder e;
+  Encoder& e = Encoder::scratch();
   e.put_tag("ambb-node-key");
   e.put_u64(index);
-  const Digest d = Sha256::hash(std::span<const std::uint8_t>(
-      e.bytes().data(), e.bytes().size()));
+  const Digest d = Sha256::hash(e.view());
   return hmac_sha256(master, d);
 }
 
-Digest tag_digest(const char* domain, const Digest& d) {
-  Encoder e;
-  e.put_tag(domain);
-  e.put_bytes(std::span<const std::uint8_t>(d.data(), d.size()));
-  return Sha256::hash(std::span<const std::uint8_t>(e.bytes().data(),
-                                                    e.bytes().size()));
-}
-
-std::uint64_t fnv1a_str(const char* s) {
+constexpr std::uint64_t fnv1a_str(const char* s) {
   std::uint64_t h = 1469598103934665603ULL;
   for (; *s != '\0'; ++s) {
     h ^= static_cast<std::uint8_t>(*s);
@@ -32,57 +25,67 @@ std::uint64_t fnv1a_str(const char* s) {
   }
   return h;
 }
-
-// Memoization bound; when reached the cache is dropped and rebuilt, which
-// only costs recomputation (the cached function is pure).
-constexpr std::size_t kMacCacheCap = std::size_t{1} << 20;
 }  // namespace
 
 KeyRegistry::KeyRegistry(std::uint32_t n, std::uint64_t master_seed) : n_(n) {
   AMBB_CHECK(n >= 1);
-  Encoder e;
+  static std::atomic<std::uint64_t> next_uid{1};
+  uid_ = next_uid.fetch_add(1, std::memory_order_relaxed);
+  Encoder& e = Encoder::scratch();
   e.put_tag("ambb-master-key");
   e.put_u64(master_seed);
-  master_key_ = Sha256::hash(std::span<const std::uint8_t>(
-      e.bytes().data(), e.bytes().size()));
+  master_key_ = Sha256::hash(e.view());
   node_keys_.reserve(n);
-  node_hmac_.reserve(n);
+  node_prf_.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     node_keys_.push_back(derive_key(master_key_, i));
-    node_hmac_.emplace_back(node_keys_.back());
+    node_prf_.emplace_back(node_keys_.back());
   }
-  master_hmac_.emplace_back(master_key_);
+  master_prf_.emplace_back(master_key_);
 }
 
-Digest KeyRegistry::cached_mac(std::uint32_t owner, const HmacKey& key,
-                               const char* domain, const Digest& d) const {
-  const MacInput in{owner, fnv1a_str(domain), d};
-  const auto it = mac_cache_.find(in);
-  if (it != mac_cache_.end()) return it->second;
-  const Digest out = key.mac(tag_digest(domain, d));
-  if (mac_cache_.size() >= kMacCacheCap) mac_cache_.clear();
-  mac_cache_.emplace(in, out);
+Digest KeyRegistry::cached_mac(std::uint32_t owner, const PrfKey& key,
+                               std::uint64_t domain, const Digest& d) const {
+  if (const Digest* m = mac_cache_.find(owner, domain, d)) return *m;
+  const Digest out = key.mac(domain, d);
+  mac_cache_.store(owner, domain, d, out);
   return out;
 }
 
 Signature KeyRegistry::sign(NodeId signer, const Digest& d) const {
   AMBB_CHECK(signer < n_);
-  return Signature{signer, cached_mac(signer, node_hmac_[signer], "sig", d)};
+  constexpr std::uint64_t kSigDom = fnv1a_str("sig");
+  return Signature{signer, cached_mac(signer, node_prf_[signer], kSigDom, d)};
 }
 
 bool KeyRegistry::verify(const Signature& sig, const Digest& d) const {
   if (sig.signer >= n_) return false;
-  return sig.mac == cached_mac(sig.signer, node_hmac_[sig.signer], "sig", d);
+  constexpr std::uint64_t kSigDom = fnv1a_str("sig");
+  // Last-args memo (see ThresholdScheme::verify): a multicast signature is
+  // re-verified by every recipient in turn with identical arguments.
+  thread_local struct {
+    std::uint64_t reg = 0;  ///< registry uid, 0 = empty
+    NodeId signer = kNoNode;
+    Digest d{};
+    Digest mac{};
+  } memo;
+  if (memo.reg != uid_ || memo.signer != sig.signer || memo.d != d) {
+    memo.reg = uid_;
+    memo.signer = sig.signer;
+    memo.d = d;
+    memo.mac = cached_mac(sig.signer, node_prf_[sig.signer], kSigDom, d);
+  }
+  return sig.mac == memo.mac;
 }
 
 Digest KeyRegistry::mac_as(NodeId i, const char* domain,
                            const Digest& d) const {
   AMBB_CHECK(i < n_);
-  return cached_mac(i, node_hmac_[i], domain, d);
+  return cached_mac(i, node_prf_[i], fnv1a_str(domain), d);
 }
 
 Digest KeyRegistry::master_mac(const char* domain, const Digest& d) const {
-  return cached_mac(kMasterOwner, master_hmac_[0], domain, d);
+  return cached_mac(kMasterOwner, master_prf_[0], fnv1a_str(domain), d);
 }
 
 }  // namespace ambb

@@ -2,11 +2,13 @@
 //
 // The environment provides no crypto library, and the paper treats the
 // signature scheme as an ideal primitive, so we simulate it: node i's
-// secret key is derived from a master seed, a signature on digest d is
-// HMAC(sk_i, d), and verification recomputes the MAC through the registry
-// (which models the PKI). Inside the simulation the only way to produce a
-// valid signature is to call sign() as that node, which the adversary can
-// do only for corrupted nodes — exactly the power the paper grants it.
+// secret key is derived from a master seed, a signature on digest d is a
+// keyed PRF over (domain, d) under sk_i (a pre-compressed SHA-256 key
+// block; one compression per MAC — see PrfKey), and verification
+// recomputes the MAC through the registry (which models the PKI). Inside
+// the simulation the only way to produce a valid signature is to call
+// sign() as that node, which the adversary can do only for corrupted
+// nodes — exactly the power the paper grants it.
 //
 // DESIGN.md documents this substitution; the properties the reproduction
 // relies on (who can create which object, and its kappa-bit wire size) are
@@ -14,11 +16,11 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/types.hpp"
 #include "crypto/hmac.hpp"
+#include "crypto/intern.hpp"
 #include "crypto/sha256.hpp"
 
 namespace ambb {
@@ -50,40 +52,36 @@ class KeyRegistry {
   /// uses this, through combine() below.
   Digest master_mac(const char* domain, const Digest& d) const;
 
+  /// Interning statistics (tests + bench reporting).
+  const VerifyCache& mac_cache() const { return mac_cache_; }
+
+  /// Process-unique instance id. Thread-local last-args memos key on this
+  /// instead of `this`: a new registry can reuse a freed registry's
+  /// address, and many digests (e.g. accusation digests) are identical
+  /// across runs, so a pointer-keyed memo could leak MACs from a registry
+  /// with different keys.
+  std::uint64_t uid() const { return uid_; }
+
  private:
-  /// (key owner, domain tag, digest) — the full input of one MAC. All four
-  /// public operations are pure functions of this triple, so results are
-  /// memoized: in a broadcast run every recipient re-verifies the same
-  /// signature, and only the first verification pays for the HMAC.
-  struct MacInput {
-    std::uint32_t owner;  ///< node index, or kMasterOwner
-    std::uint64_t domain; ///< FNV-1a of the domain-separation tag
-    Digest digest;
-
-    bool operator==(const MacInput&) const = default;
-  };
-  struct MacInputHash {
-    std::size_t operator()(const MacInput& k) const {
-      // The digest is SHA-256 output; its first bytes are already uniform.
-      std::uint64_t h = 0;
-      for (int i = 0; i < 8; ++i) h = h << 8 | k.digest[i];
-      return static_cast<std::size_t>(h ^ k.domain ^
-                                      (std::uint64_t{k.owner} << 32));
-    }
-  };
-
   static constexpr std::uint32_t kMasterOwner = 0xFFFFFFFFu;
 
-  Digest cached_mac(std::uint32_t owner, const HmacKey& key,
-                    const char* domain, const Digest& d) const;
+  Digest cached_mac(std::uint32_t owner, const PrfKey& key,
+                    std::uint64_t domain, const Digest& d) const;
 
   std::uint32_t n_;
+  std::uint64_t uid_;
   Digest master_key_;
   std::vector<Digest> node_keys_;
-  std::vector<HmacKey> node_hmac_;
-  std::vector<HmacKey> master_hmac_;  ///< single element; vector avoids a
-                                      ///< default-constructible requirement
-  mutable std::unordered_map<MacInput, Digest, MacInputHash> mac_cache_;
+  std::vector<PrfKey> node_prf_;
+  std::vector<PrfKey> master_prf_;  ///< single element; vector avoids a
+                                    ///< default-constructible requirement
+  /// (key owner, domain tag, digest) is the full input of one MAC. All
+  /// four public operations are pure functions of this triple, so results
+  /// are memoized: in a broadcast run every recipient re-verifies the same
+  /// signature, and only the first verification pays for the HMAC. The
+  /// flat direct-mapped VerifyCache makes steady-state inserts
+  /// heap-allocation-free (DESIGN.md §14).
+  mutable VerifyCache mac_cache_;
 };
 
 }  // namespace ambb

@@ -22,7 +22,10 @@ bool ThresholdScheme::verify_share(const SigShare& s, const Digest& d) const {
 
 ThresholdSig ThresholdScheme::combine(std::span<const SigShare> shares,
                                       const Digest& d) const {
-  std::vector<NodeId> signers;
+  // Reused scratch: combine() runs once per certificate on the hot path;
+  // a thread_local keeps steady-state rounds heap-allocation-free.
+  thread_local std::vector<NodeId> signers;
+  signers.clear();
   signers.reserve(shares.size());
   for (const auto& s : shares) {
     AMBB_CHECK_MSG(verify_share(s, d), "invalid share passed to combine");
@@ -37,7 +40,20 @@ ThresholdSig ThresholdScheme::combine(std::span<const SigShare> shares,
 }
 
 bool ThresholdScheme::verify(const ThresholdSig& sig, const Digest& d) const {
-  return sig.mac == registry_->master_mac("th", d);
+  // Last-args memo: in a broadcast round every recipient verifies the same
+  // certificate back-to-back, so remembering the expected MAC for the most
+  // recent digest short-circuits the registry's cache probe entirely.
+  thread_local struct {
+    std::uint64_t reg = 0;  ///< registry uid (see KeyRegistry::uid)
+    Digest d{};
+    Digest mac{};
+  } memo;
+  if (memo.reg != registry_->uid() || memo.d != d) {
+    memo.reg = registry_->uid();
+    memo.d = d;
+    memo.mac = registry_->master_mac("th", d);
+  }
+  return sig.mac == memo.mac;
 }
 
 }  // namespace ambb

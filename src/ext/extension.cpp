@@ -12,6 +12,7 @@
 #include "bb/quadratic_bb.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
+#include "crypto/intern.hpp"
 #include "crypto/rs_code.hpp"
 #include "sim/cost.hpp"
 
@@ -28,7 +29,8 @@ Value digest_fp64(const Digest& d) {
 namespace {
 
 Value payload_fp64(const std::vector<std::uint8_t>& payload) {
-  return digest_fp64(Sha256::hash(payload));
+  // Interned: the sender and every recipient fingerprint the same payload.
+  return digest_fp64(DigestCache::local().hash("ext-payload", payload));
 }
 
 /// True if `m` is well-formed for this run and its path verifies against

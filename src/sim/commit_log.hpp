@@ -21,35 +21,43 @@ class CommitLog {
  public:
   explicit CommitLog(std::uint32_t n) : n_(n) {}
 
+  /// Pre-size for `max_slot` slots so steady-state record() calls never
+  /// regrow the flat table.
+  void reserve(Slot max_slot) {
+    flat_.reserve(static_cast<std::size_t>(max_slot + 1) * n_);
+  }
+
   void record(NodeId node, Slot slot, Value value, Round round) {
     AMBB_CHECK(node < n_ && slot >= 1);
-    if (slot >= by_slot_.size()) {
-      by_slot_.resize(slot + 1, std::vector<CommitRecord>(n_));
-    }
-    CommitRecord& r = by_slot_[slot][node];
+    const std::size_t need = static_cast<std::size_t>(slot + 1) * n_;
+    if (need > flat_.size()) flat_.resize(need);
+    CommitRecord& r = flat_[static_cast<std::size_t>(slot) * n_ + node];
     AMBB_CHECK_MSG(!r.committed, "node " << node << " double-committed slot "
                                          << slot);
     r = CommitRecord{value, round, true};
   }
 
   bool has(NodeId node, Slot slot) const {
-    return slot < by_slot_.size() && by_slot_[slot][node].committed;
+    return static_cast<std::size_t>(slot + 1) * n_ <= flat_.size() &&
+           flat_[static_cast<std::size_t>(slot) * n_ + node].committed;
   }
 
   const CommitRecord& get(NodeId node, Slot slot) const {
     AMBB_CHECK(has(node, slot));
-    return by_slot_[slot][node];
+    return flat_[static_cast<std::size_t>(slot) * n_ + node];
   }
 
   Slot max_slot() const {
-    return by_slot_.empty() ? 0 : static_cast<Slot>(by_slot_.size() - 1);
+    return flat_.empty() ? 0 : static_cast<Slot>(flat_.size() / n_ - 1);
   }
 
   std::uint32_t n() const { return n_; }
 
  private:
   std::uint32_t n_;
-  std::vector<std::vector<CommitRecord>> by_slot_;  // [slot][node]
+  /// Flat [slot][node] table with stride n_ (one contiguous block instead
+  /// of a vector per slot).
+  std::vector<CommitRecord> flat_;
 };
 
 }  // namespace ambb

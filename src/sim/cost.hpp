@@ -22,6 +22,9 @@ class CostLedger {
   /// kind_names[i] labels MsgKind i in reports.
   explicit CostLedger(std::vector<std::string> kind_names);
 
+  /// Pre-size the per-slot table so steady-state charges never regrow it.
+  void reserve_slots(Slot max_slot) { per_slot_.reserve(max_slot + 1); }
+
   void charge(Slot slot, MsgKind kind, std::uint64_t bits, bool honest_sender);
 
   /// Charge `count` identical deliveries in one call (a multicast record's

@@ -33,6 +33,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "sim/cost.hpp"
@@ -65,25 +66,36 @@ class TrafficLog {
     bool is_multicast() const { return to == kNoNode; }
   };
 
+  TrafficLog() : arena_(std::make_unique<Arena>()), records_(arena_.get()) {}
+
+  /// Round boundary: drop all records and rewind the arena wholesale. In
+  /// steady state (high-water capacity reached) this performs zero heap
+  /// operations.
   void reset(std::uint32_t n) {
     n_ = n;
-    records_.clear();
+    records_.reset();
+    arena_->reset();
     deliveries_ = 0;
   }
 
-  void add_unicast(NodeId from, NodeId to, Msg m) {
-    records_.push_back(Record{from, to, std::move(m), deliveries_});
+  void add_unicast(NodeId from, NodeId to, const Msg& m) {
+    // Emplaced, not pushed: the payload is copied exactly once, straight
+    // into arena storage (Msg can be large; the hot path sends millions).
+    records_.emplace_back(from, to, m, deliveries_);
     deliveries_ += 1;
   }
 
   void add_multicast(NodeId from, const Msg& m) {
-    records_.push_back(Record{from, kNoNode, m, deliveries_});
+    records_.emplace_back(from, kNoNode, m, deliveries_);
     deliveries_ += n_;
   }
 
   std::uint32_t n() const { return n_; }
   std::size_t deliveries() const { return deliveries_; }
-  const std::vector<Record>& records() const { return records_; }
+  const ArenaVector<Record>& records() const { return records_; }
+
+  /// Allocation behaviour of the backing arena (tests + diagnostics).
+  const Arena::Stats& arena_stats() const { return arena_->stats(); }
 
   std::size_t fanout(const Record& rec) const {
     return rec.is_multicast() ? n_ : 1;
@@ -105,7 +117,12 @@ class TrafficLog {
 
  private:
   std::uint32_t n_ = 0;
-  std::vector<Record> records_;
+  /// The arena sits behind unique_ptr so the log stays movable (swap in
+  /// Simulation::step) without invalidating records_'s arena pointer.
+  /// Declared before records_: members destroy in reverse order, and the
+  /// records must die before their backing storage.
+  std::unique_ptr<Arena> arena_;
+  ArenaVector<Record> records_;
   std::size_t deliveries_ = 0;
 };
 
@@ -179,9 +196,9 @@ class RoundApi {
   NodeId self() const { return self_; }
   std::uint32_t n() const { return n_; }
 
-  void send(NodeId to, Msg m) {
+  void send(NodeId to, const Msg& m) {
     AMBB_CHECK(to < n_);
-    out_->add_unicast(self_, to, std::move(m));
+    out_->add_unicast(self_, to, m);
   }
 
   /// Send to all n nodes. Stored as ONE shared record; the self-copy is
@@ -275,9 +292,11 @@ class Simulation final : CorruptionCtl<Msg> {
         policy_(std::move(policy)),
         corrupt_(n, 0),
         actors_(n),
+        inbox_arena_(std::make_unique<Arena>()),
         inboxes_(n) {
     AMBB_CHECK(n >= 1 && f < n);
     AMBB_CHECK(ledger != nullptr);
+    for (auto& ib : inboxes_) ib.set_arena(inbox_arena_.get());
   }
 
   /// Install the honest actor for every node, then bind the adversary
@@ -323,6 +342,12 @@ class Simulation final : CorruptionCtl<Msg> {
   /// One RoundStats per executed round.
   const std::vector<RoundStats>& round_stats() const { return round_stats_; }
 
+  /// Pre-size the per-round stats buffer; drivers that know the total
+  /// round count call this so steady-state rounds never regrow it.
+  void reserve_rounds(std::uint64_t rounds) {
+    round_stats_.reserve(static_cast<std::size_t>(rounds));
+  }
+
   /// Running aggregate of all executed rounds, folded via accumulate()
   /// as each step() completes (same totals as summarize(round_stats())).
   const RoundStatsSummary& summary() const { return summary_; }
@@ -338,11 +363,11 @@ class Simulation final : CorruptionCtl<Msg> {
 
     cur_.reset(n_);
     erased_.clear();
+    if (roster_dirty_) rebuild_roster();
 
     // 1. Honest actors act on their inboxes.
     auto t0 = Clock::now();
-    for (NodeId v = 0; v < n_; ++v) {
-      if (corrupt_[v]) continue;
+    for (NodeId v : honest_ids_) {
       RoundApi<Msg> api(v, n_, &cur_);
       actors_[v]->on_round(round_, inbox_of(v), TrafficView<Msg>{}, api);
     }
@@ -353,8 +378,7 @@ class Simulation final : CorruptionCtl<Msg> {
     //    view reads through the log, so it survives the appends Byzantine
     //    actors make to the same log.
     const TrafficView<Msg> rushed(&cur_, honest_deliveries);
-    for (NodeId v = 0; v < n_; ++v) {
-      if (!corrupt_[v]) continue;
+    for (NodeId v : corrupt_ids_) {
       RoundApi<Msg> api(v, n_, &cur_);
       actors_[v]->on_round(round_, inbox_of(v), rushed, api);
     }
@@ -366,8 +390,11 @@ class Simulation final : CorruptionCtl<Msg> {
       const TrafficView<Msg> all(&cur_, cur_.deliveries());
       adversary_->observe_round(round_, all, *this);
     }
-    std::sort(erased_.begin(), erased_.end());
-    erased_.erase(std::unique(erased_.begin(), erased_.end()), erased_.end());
+    if (!erased_.empty()) {
+      std::sort(erased_.begin(), erased_.end());
+      erased_.erase(std::unique(erased_.begin(), erased_.end()),
+                    erased_.end());
+    }
     auto t3 = Clock::now();
 
     // 4. Charge costs: the policy runs once per RECORD, the charge covers
@@ -397,8 +424,25 @@ class Simulation final : CorruptionCtl<Msg> {
     // 5. Deliver surviving messages for the next round. Inboxes reference
     //    the record payloads, so the log must outlive the next round's
     //    sends: double-buffer and swap instead of clearing in place.
-    for (auto& ib : inboxes_) ib.clear();
-    {
+    //    The inbox vectors share one arena, rewound wholesale here (the
+    //    old contents were consumed in steps 1-2); each vector remembers
+    //    its high-water size, so refilling is one arena bump per inbox.
+    //    Only inboxes that actually received something last round need a
+    //    reset — deliver_to tracked them (an inbox holds arena storage iff
+    //    it was pushed to since its last reset, so nothing dangles when
+    //    the arena rewinds).
+    for (NodeId v : touched_inboxes_) inboxes_[v].reset();
+    touched_inboxes_.clear();
+    inbox_arena_->reset();
+    if (erased_.empty()) {
+      for (const auto& rec : cur_.records()) {
+        if (rec.is_multicast()) {
+          for (NodeId v = 0; v < n_; ++v) deliver_to(v, rec);
+        } else {
+          deliver_to(rec.to, rec);
+        }
+      }
+    } else {
       auto er = erased_.begin();
       for (const auto& rec : cur_.records()) {
         if (rec.is_multicast()) {
@@ -407,14 +451,14 @@ class Simulation final : CorruptionCtl<Msg> {
               ++er;
               continue;
             }
-            inboxes_[v].push_back(Delivery<Msg>{rec.from, &rec.msg});
+            deliver_to(v, rec);
           }
         } else {
           if (er != erased_.end() && *er == rec.base) {
             ++er;
             continue;
           }
-          inboxes_[rec.to].push_back(Delivery<Msg>{rec.from, &rec.msg});
+          deliver_to(rec.to, rec);
         }
       }
     }
@@ -456,11 +500,30 @@ class Simulation final : CorruptionCtl<Msg> {
 
  private:
   std::span<const Delivery<Msg>> inbox_of(NodeId v) const {
-    return std::span<const Delivery<Msg>>(inboxes_[v]);
+    return std::span<const Delivery<Msg>>(inboxes_[v].data(),
+                                          inboxes_[v].size());
+  }
+
+  void deliver_to(NodeId v, const typename TrafficLog<Msg>::Record& rec) {
+    auto& ib = inboxes_[v];
+    if (ib.empty()) touched_inboxes_.push_back(v);
+    ib.push_back(Delivery<Msg>{rec.from, &rec.msg});
   }
 
   bool erased_covers(std::size_t d) const {
     return std::binary_search(erased_.begin(), erased_.end(), d);
+  }
+
+  /// Recompute the honest/corrupt iteration orders (ascending node id,
+  /// matching the original skip-loop order). Runs only when the corruption
+  /// set changed, not every round.
+  void rebuild_roster() {
+    honest_ids_.clear();
+    corrupt_ids_.clear();
+    for (NodeId v = 0; v < n_; ++v) {
+      (corrupt_[v] ? corrupt_ids_ : honest_ids_).push_back(v);
+    }
+    roster_dirty_ = false;
   }
 
   void corrupt(NodeId node) override { do_corrupt(node); }
@@ -486,6 +549,7 @@ class Simulation final : CorruptionCtl<Msg> {
     AMBB_CHECK_MSG(corrupt_count_ < f_, "corruption budget f exhausted");
     corrupt_[node] = 1;
     ++corrupt_count_;
+    roster_dirty_ = true;
     AMBB_CHECK(adversary_ != nullptr);
     actors_[node] = adversary_->actor_for(node);
     trace::Event ev;
@@ -504,10 +568,16 @@ class Simulation final : CorruptionCtl<Msg> {
   Round round_ = 0;
   std::vector<std::uint8_t> corrupt_;
   std::uint32_t corrupt_count_ = 0;
+  std::vector<NodeId> honest_ids_;   ///< cached actor iteration order
+  std::vector<NodeId> corrupt_ids_;  ///< (rebuilt when corruptions change)
+  bool roster_dirty_ = true;
   std::vector<std::unique_ptr<Actor<Msg>>> actors_;
-  /// Inbox buffers are reused across rounds (clear keeps capacity); the
-  /// entries point into prev_'s records.
-  std::vector<std::vector<Delivery<Msg>>> inboxes_;
+  /// Inbox buffers draw from a shared arena rewound each round (entries
+  /// point into prev_'s records). Declared before inboxes_ so the vectors
+  /// die before their backing storage.
+  std::unique_ptr<Arena> inbox_arena_;
+  std::vector<ArenaVector<Delivery<Msg>>> inboxes_;
+  std::vector<NodeId> touched_inboxes_;  ///< pushed-to since their reset
   TrafficLog<Msg> cur_;   ///< records emitted this round
   TrafficLog<Msg> prev_;  ///< last round's records, referenced by inboxes
   /// Delivery indices erased this round (sorted + deduped after step 3).

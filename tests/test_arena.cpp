@@ -1,0 +1,199 @@
+// Arena / ArenaVector coverage (DESIGN.md §14): alignment (over-aligned
+// types included), geometric chunk growth, the reset-reuse contract (a
+// post-warmup cycle acquires zero new chunks), stats accounting, and the
+// ArenaVector high-water refill hint that makes the first append of a new
+// cycle grab full steady-state capacity in one allocation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "common/arena.hpp"
+#include "common/check.hpp"
+
+namespace ambb {
+namespace {
+
+bool aligned_to(const void* p, std::size_t align) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (align - 1)) == 0;
+}
+
+TEST(Arena, AllocationsRespectRequestedAlignment) {
+  Arena a;
+  // Deliberately misalign the cursor before each aligned request.
+  for (std::size_t align : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                            std::size_t{8}, std::size_t{16}, std::size_t{32},
+                            std::size_t{64}}) {
+    a.allocate(1, 1);
+    void* p = a.allocate(align * 3, align);
+    EXPECT_TRUE(aligned_to(p, align)) << "align " << align;
+    // The block must be writable across its whole extent.
+    std::memset(p, 0xAB, align * 3);
+  }
+}
+
+TEST(Arena, OverAlignedTypeGetsUsableStorage) {
+  struct alignas(64) Wide {
+    std::uint64_t lanes[8];
+  };
+  Arena a;
+  a.allocate(3, 1);  // force a non-64-aligned cursor
+  Wide* w = a.allocate_array<Wide>(4);
+  ASSERT_TRUE(aligned_to(w, alignof(Wide)));
+  for (int i = 0; i < 4; ++i) {
+    for (int l = 0; l < 8; ++l) w[i].lanes[l] = std::uint64_t(i) * 8 + l;
+  }
+  EXPECT_EQ(w[3].lanes[7], 31u);
+}
+
+TEST(Arena, ChunkGrowthIsGeometricAndOversizeRequestsFit) {
+  Arena a(/*first_chunk_bytes=*/64);
+  EXPECT_EQ(a.stats().chunks_acquired, 0u);  // chunks are lazy
+
+  a.allocate(60, 4);
+  EXPECT_EQ(a.stats().chunks_acquired, 1u);
+  EXPECT_EQ(a.stats().reserved_bytes, 64u);
+
+  // Second chunk: want = reserved_bytes (geometric doubling).
+  a.allocate(60, 4);
+  EXPECT_EQ(a.stats().chunks_acquired, 2u);
+  EXPECT_EQ(a.stats().reserved_bytes, 128u);
+
+  // A request larger than the doubled size still succeeds in one chunk.
+  void* big = a.allocate(4096, 8);
+  EXPECT_TRUE(aligned_to(big, 8));
+  std::memset(big, 0, 4096);
+  EXPECT_GE(a.stats().reserved_bytes, 128u + 4096u);
+}
+
+TEST(Arena, ResetRewindsAndSteadyStateCyclesAcquireNoChunks) {
+  Arena a(/*first_chunk_bytes=*/128);
+  auto cycle = [&a] {
+    for (int i = 0; i < 50; ++i) a.allocate(40, 8);
+    EXPECT_GT(a.live_bytes(), 0u);
+    a.reset();
+    EXPECT_EQ(a.live_bytes(), 0u);
+  };
+
+  cycle();  // warmup: grows the chunk list
+  const std::uint64_t warm_chunks = a.stats().chunks_acquired;
+  const std::size_t warm_reserved = a.stats().reserved_bytes;
+  EXPECT_GT(warm_chunks, 1u);  // 50 * 40 bytes cannot fit one 128 B chunk
+
+  for (int c = 0; c < 5; ++c) cycle();
+  // The reset-reuse contract: identical post-warmup cycles never touch
+  // the heap for new chunks.
+  EXPECT_EQ(a.stats().chunks_acquired, warm_chunks);
+  EXPECT_EQ(a.stats().reserved_bytes, warm_reserved);
+  EXPECT_EQ(a.stats().resets, 6u);
+
+  // High water reflects the per-cycle live peak, not the lifetime sum.
+  EXPECT_GE(a.stats().high_water_bytes, 50u * 40u);
+  EXPECT_LT(a.stats().high_water_bytes, 2u * 50u * 40u + 128u);
+}
+
+TEST(Arena, StatsCountAllocationsAndBytes) {
+  Arena a;
+  a.allocate(10, 1);
+  a.allocate(20, 1);
+  EXPECT_EQ(a.stats().allocations, 2u);
+  EXPECT_EQ(a.stats().bytes_requested, 30u);
+}
+
+TEST(ArenaVector, GrowthPreservesElementsAcrossRelocations) {
+  Arena a;
+  ArenaVector<std::uint32_t> v(&a);
+  for (std::uint32_t i = 0; i < 1000; ++i) v.emplace_back(i * 7);
+  ASSERT_EQ(v.size(), 1000u);
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_EQ(v[i], i * 7) << "index " << i;
+  }
+}
+
+TEST(ArenaVector, ClearKeepsStorageBlock) {
+  Arena a;
+  ArenaVector<int> v(&a);
+  for (int i = 0; i < 100; ++i) v.emplace_back(i);
+  const std::size_t cap = v.capacity();
+  const std::uint64_t allocs = a.stats().allocations;
+  v.clear();
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_EQ(v.capacity(), cap);
+  for (int i = 0; i < 100; ++i) v.emplace_back(i);
+  // Refill within the kept block: no arena traffic at all.
+  EXPECT_EQ(a.stats().allocations, allocs);
+}
+
+TEST(ArenaVector, ResetHintRefillsFullCapacityInOneAllocation) {
+  Arena a;
+  ArenaVector<int> v(&a);
+  for (int i = 0; i < 300; ++i) v.emplace_back(i);  // warmup, many grows
+
+  v.reset();
+  a.reset();
+  const std::uint64_t allocs = a.stats().allocations;
+  v.emplace_back(0);
+  // One arena allocation, already at high-water capacity: the rest of
+  // the cycle's appends relocate nothing.
+  EXPECT_EQ(a.stats().allocations, allocs + 1);
+  EXPECT_GE(v.capacity(), 300u);
+  for (int i = 1; i < 300; ++i) v.emplace_back(i);
+  EXPECT_EQ(a.stats().allocations, allocs + 1);
+  for (int i = 0; i < 300; ++i) ASSERT_EQ(v[i], i);
+}
+
+TEST(ArenaVector, MoveTransfersStorageAndEmptiesSource) {
+  Arena a;
+  ArenaVector<int> v(&a);
+  for (int i = 0; i < 10; ++i) v.emplace_back(i);
+  const int* data = v.data();
+
+  ArenaVector<int> w(std::move(v));
+  EXPECT_EQ(w.data(), data);
+  EXPECT_EQ(w.size(), 10u);
+  EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move): contract
+  EXPECT_EQ(v.data(), nullptr);
+
+  ArenaVector<int> u(&a);
+  u.emplace_back(99);
+  u = std::move(w);
+  EXPECT_EQ(u.data(), data);
+  EXPECT_EQ(u.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(u[i], i);
+}
+
+TEST(ArenaVector, NonTrivialElementsAreDestroyed) {
+  static int live = 0;
+  struct Counted {
+    Counted() { ++live; }
+    Counted(const Counted&) { ++live; }
+    Counted(Counted&&) noexcept { ++live; }
+    ~Counted() { --live; }
+  };
+  Arena a;
+  {
+    ArenaVector<Counted> v(&a);
+    for (int i = 0; i < 20; ++i) v.emplace_back();
+    EXPECT_EQ(live, 20);
+    v.clear();
+    EXPECT_EQ(live, 0);
+    for (int i = 0; i < 5; ++i) v.emplace_back();
+    EXPECT_EQ(live, 5);
+  }  // destructor path
+  EXPECT_EQ(live, 0);
+}
+
+TEST(ArenaVector, SetArenaOnlyWhileEmpty) {
+  Arena a, b;
+  ArenaVector<int> v(&a);
+  v.emplace_back(1);
+  EXPECT_THROW(v.set_arena(&b), CheckError);
+  v.reset();
+  v.set_arena(&b);  // empty again: rebinding is allowed
+  v.emplace_back(2);
+  EXPECT_EQ(b.stats().allocations, 1u);
+}
+
+}  // namespace
+}  // namespace ambb
