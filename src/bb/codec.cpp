@@ -25,16 +25,16 @@ namespace ambb::linear {
 void encode(const Msg& m, Encoder& e) {
   e.put_u8(static_cast<std::uint8_t>(m.kind));
   e.put_u32(m.slot);
-  e.put_u16(static_cast<std::uint16_t>(m.epoch));
+  e.put_u16_checked(m.epoch);
   e.put_u64(m.value);
   e.put_u8(m.has_cert ? 1 : 0);
   if (m.has_cert) {
-    e.put_u16(static_cast<std::uint16_t>(m.cert_epoch));
+    e.put_u16_checked(m.cert_epoch);
     encode_thsig(m.cert, e);
   }
   switch (m.kind) {
     case Kind::kCommitProof:
-      e.put_u16(static_cast<std::uint16_t>(m.proof_epoch));
+      e.put_u16_checked(m.proof_epoch);
       encode_thsig(m.proof, e);
       break;
     case Kind::kCorruptProof:
@@ -185,7 +185,7 @@ void encode(const Msg& m, Encoder& e) {
   e.put_u8(static_cast<std::uint8_t>(m.kind));
   e.put_u32(m.slot);
   e.put_u64(m.value);
-  e.put_u16(static_cast<std::uint16_t>(m.chain.size()));
+  e.put_u16_checked(m.chain.size());
   for (const auto& s : m.chain) encode_signature(s, e);
   encode_multisig(m.agg, e);
 }

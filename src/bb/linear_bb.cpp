@@ -103,7 +103,7 @@ Digest vote_digest(Slot k, Epoch i, Value m) {
   e.reserve(32);
   e.put_tag("vote");
   e.put_u32(k);
-  e.put_u16(static_cast<std::uint16_t>(i));
+  e.put_u16_checked(i);
   e.put_u64(m);
   memo = Memo{k, i, m, DigestCache::local().hash("vote", e.view()), true};
   return memo.d;
@@ -117,7 +117,7 @@ Digest commit_digest(Slot k, Epoch i, Value m) {
   e.reserve(32);
   e.put_tag("commit");
   e.put_u32(k);
-  e.put_u16(static_cast<std::uint16_t>(i));
+  e.put_u16_checked(i);
   e.put_u64(m);
   memo = Memo{k, i, m, DigestCache::local().hash("commit", e.view()), true};
   return memo.d;
@@ -156,11 +156,11 @@ Digest prop_digest(const Msg& prop) {
   e.reserve(64);
   e.put_tag("prop");
   e.put_u32(prop.slot);
-  e.put_u16(static_cast<std::uint16_t>(prop.epoch));
+  e.put_u16_checked(prop.epoch);
   e.put_u64(prop.value);
   e.put_u8(prop.has_cert ? 1 : 0);
   if (prop.has_cert) {
-    e.put_u16(static_cast<std::uint16_t>(prop.cert_epoch));
+    e.put_u16_checked(prop.cert_epoch);
     e.put_bytes(std::span<const std::uint8_t>(prop.cert.mac.data(),
                                               prop.cert.mac.size()));
   }
@@ -1003,7 +1003,9 @@ RunResult run_linear(const LinearConfig& cfg) {
   Graph expander = build_expander(cfg.n, cfg.eps, cfg.seed ^ 0xE0A11DE5ULL);
 
   CommitLog commits(cfg.n);
-  commits.reserve(cfg.slots);
+  // presize, not reserve: sharded rounds record() from worker threads into
+  // disjoint cells, which must never trigger the lazy regrow.
+  commits.presize(cfg.slots);
   CostLedger ledger(kind_names());
   ledger.reserve_slots(cfg.slots + 1);
 
@@ -1033,9 +1035,11 @@ RunResult run_linear(const LinearConfig& cfg) {
   ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
     return static_cast<NodeId>((s - 1) % n);
   };
-  ctx.trace = cfg.trace;
-
   Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire, ctx.sched});
+  sim.set_node_jobs(cfg.node_jobs);
+  // Actors emit through the sim's router so sharded rounds can buffer
+  // worker-thread events and replay them in deterministic order.
+  ctx.trace = sim.actor_trace(cfg.trace);
   sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<LinearNode>(v, &ctx));

@@ -388,6 +388,9 @@ struct LinearConfig {
   std::string adversary = "none";
   /// Optional event sink, not owned (see src/trace/). Attaching a sink
   /// never changes the run.
+  /// Honest-phase shard threads per round (0 = auto, 1 = serial;
+  /// byte-identical results for every value — DESIGN.md §15).
+  std::uint32_t node_jobs = 1;
   trace::TraceSink* trace = nullptr;
   /// Optional overrides; defaults: round-robin sender, hash-like inputs.
   std::function<Value(Slot)> input_for_slot;

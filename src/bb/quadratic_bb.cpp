@@ -175,6 +175,7 @@ RunResult run_quadratic(const QuadConfig& cfg) {
 
   KeyRegistry registry(cfg.n, cfg.seed);
   CommitLog commits(cfg.n);
+  commits.presize(cfg.slots);  // sharded-round safety: no lazy regrow
   CostLedger ledger(kind_names());
 
   Context ctx;
@@ -194,9 +195,11 @@ RunResult run_quadratic(const QuadConfig& cfg) {
   ctx.sender_of = cfg.sender_of ? cfg.sender_of : [n = cfg.n](Slot s) {
     return static_cast<NodeId>((s - 1) % n);
   };
-  ctx.trace = cfg.trace;
-
   Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire, ctx.sched});
+  sim.set_node_jobs(cfg.node_jobs);
+  // Actors emit through the sim's router so sharded rounds can buffer
+  // worker-thread events and replay them in deterministic order.
+  ctx.trace = sim.actor_trace(cfg.trace);
   sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<QuadNode>(v, &ctx));

@@ -116,6 +116,9 @@ struct QuadConfig {
   std::uint32_t value_bits = kDefaultValueBits;
   std::string adversary = "none";
   /// Optional event sink, not owned (see src/trace/).
+  /// Honest-phase shard threads per round (0 = auto, 1 = serial;
+  /// byte-identical results for every value — DESIGN.md §15).
+  std::uint32_t node_jobs = 1;
   trace::TraceSink* trace = nullptr;
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;

@@ -6,7 +6,13 @@ namespace ambb {
 
 Encoder& Encoder::scratch() {
   thread_local Encoder e;
+  // Reentrancy guard: the previous acquisition must have been consumed
+  // (view()/bytes()) or abandoned (clear()). Without this, a nested
+  // scratch() user would clear a buffer that is still mid-encode and the
+  // outer caller would hash/sign truncated bytes with no diagnostic.
+  AMBB_CHECK_MSG(!e.busy_, "Encoder::scratch() re-acquired mid-encode");
   e.clear();
+  e.busy_ = true;
   return e;
 }
 
@@ -31,7 +37,10 @@ std::uint64_t Decoder::get_u64() {
 }
 
 std::vector<std::uint8_t> Decoder::get_bytes(std::size_t len) {
-  AMBB_CHECK_MSG(pos_ + len <= buf_.size(), "decoder underrun");
+  // NOT `pos_ + len <= size()`: a hostile length near SIZE_MAX would wrap
+  // the sum and pass the check. pos_ <= size() is a class invariant, so
+  // the subtraction below cannot underflow.
+  AMBB_CHECK_MSG(len <= buf_.size() - pos_, "decoder underrun");
   std::vector<std::uint8_t> out(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
                                 buf_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
   pos_ += len;

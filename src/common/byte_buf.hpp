@@ -19,6 +19,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace ambb {
 
 class Encoder {
@@ -40,16 +42,30 @@ class Encoder {
   /// A cleared, reusable thread-local Encoder. Capacity persists across
   /// calls, so steady-state encodings perform zero heap allocations. Do
   /// not hold the reference across a call into code that may itself use
-  /// scratch() — there is exactly one per thread.
+  /// scratch() — there is exactly one per thread, and a reentrancy guard
+  /// enforces it: acquiring the scratch encoder marks it busy until the
+  /// encoding is consumed via view()/bytes() (or abandoned via clear()).
+  /// Nested acquisition used to silently clear() a mid-encode buffer and
+  /// corrupt the outer encoding; now it throws.
   static Encoder& scratch();
 
   void reserve(std::size_t n) { buf_->reserve(n); }
-  void clear() { buf_->clear(); }
+  void clear() {
+    buf_->clear();
+    busy_ = false;
+  }
 
   void put_u8(std::uint8_t v) { buf_->push_back(v); }
   void put_u16(std::uint16_t v) {
     put_u8(static_cast<std::uint8_t>(v >> 8));
     put_u8(static_cast<std::uint8_t>(v));
+  }
+  /// Checked narrowing put: for wider fields (Epoch is uint32_t, chain
+  /// lengths are size_t) whose canonical encoding is u16. A value >= 2^16
+  /// would silently alias digests and wire bytes; this throws instead.
+  void put_u16_checked(std::uint64_t v) {
+    AMBB_CHECK_MSG(v <= 0xFFFFu, "u16 codec field overflow: " << v);
+    put_u16(static_cast<std::uint16_t>(v));
   }
   void put_u32(std::uint32_t v) {
     put_u16(static_cast<std::uint16_t>(v >> 16));
@@ -69,8 +85,12 @@ class Encoder {
     for (char c : tag) put_u8(static_cast<std::uint8_t>(c));
   }
 
-  const std::vector<std::uint8_t>& bytes() const { return *buf_; }
+  const std::vector<std::uint8_t>& bytes() const {
+    busy_ = false;  // encoding consumed; scratch() may be re-acquired
+    return *buf_;
+  }
   std::span<const std::uint8_t> view() const {
+    busy_ = false;  // encoding consumed; scratch() may be re-acquired
     return std::span<const std::uint8_t>(buf_->data(), buf_->size());
   }
   std::size_t size() const { return buf_->size(); }
@@ -78,6 +98,10 @@ class Encoder {
  private:
   std::vector<std::uint8_t> own_;
   std::vector<std::uint8_t>* buf_;
+  /// Reentrancy guard for the thread-local scratch instance: set by
+  /// scratch(), released when the encoding is consumed (view()/bytes())
+  /// or abandoned (clear()). Always false for ordinary instances.
+  mutable bool busy_ = false;
 };
 
 /// Matching decoder; used by codec round-trip tests and by components that

@@ -94,6 +94,10 @@ const Digest* VerifyCache::find(std::uint32_t owner, std::uint64_t domain,
   return nullptr;
 }
 
+void VerifyCache::clear() {
+  for (Entry& e : table_) e.used = false;
+}
+
 void VerifyCache::store(std::uint32_t owner, std::uint64_t domain,
                         const Digest& d, const Digest& mac) {
   Entry& e = table_[index_of(owner, domain, d)];

@@ -15,10 +15,12 @@
 // tag-distinct encodings can never alias an entry; domain separation is
 // preserved bit-for-bit.
 //
-// Threading: DigestCache::local() is thread-local (one cache per engine
-// worker), and a VerifyCache instance belongs to one KeyRegistry, which
-// the engine's job-isolation rule already confines to one thread. No
-// locks, no sharing, race-free under any --jobs setting.
+// Threading: DigestCache::local() is thread-local (one cache per
+// worker thread), and KeyRegistry's MAC memo lives in a thread-local
+// VerifyCache keyed on the registry uid (cleared when a thread switches
+// registries) — node-sharded rounds share one registry across worker
+// threads, so the cache cannot live inside the registry itself. No
+// locks, no sharing, race-free under any --jobs / --node-jobs setting.
 #pragma once
 
 #include <array>
@@ -100,6 +102,12 @@ class VerifyCache {
 
   void store(std::uint32_t owner, std::uint64_t domain, const Digest& d,
              const Digest& mac);
+
+  /// Drop every entry (stats are kept). Used by the thread-local MAC
+  /// caches in KeyRegistry when the calling thread switches registries:
+  /// entries memoize MACs under one registry's keys and must never be
+  /// served for another.
+  void clear();
 
   const Stats& stats() const { return stats_; }
   std::size_t capacity() const { return table_.size(); }

@@ -46,9 +46,23 @@ KeyRegistry::KeyRegistry(std::uint32_t n, std::uint64_t master_seed) : n_(n) {
 
 Digest KeyRegistry::cached_mac(std::uint32_t owner, const PrfKey& key,
                                std::uint64_t domain, const Digest& d) const {
-  if (const Digest* m = mac_cache_.find(owner, domain, d)) return *m;
+  // The MAC memo is per-thread, keyed on the registry uid: node-sharded
+  // rounds drive one registry from several worker threads at once, so a
+  // shared member cache would race, and keying on uid (rather than
+  // folding it into the cache key) guarantees a thread that switches
+  // registries can never be served a MAC computed under different keys —
+  // the whole cache is dropped instead.
+  thread_local struct TlMacCache {
+    std::uint64_t reg = 0;  ///< registry uid, 0 = empty
+    VerifyCache cache;
+  } tl;
+  if (tl.reg != uid_) {
+    tl.cache.clear();
+    tl.reg = uid_;
+  }
+  if (const Digest* m = tl.cache.find(owner, domain, d)) return *m;
   const Digest out = key.mac(domain, d);
-  mac_cache_.store(owner, domain, d, out);
+  tl.cache.store(owner, domain, d, out);
   return out;
 }
 

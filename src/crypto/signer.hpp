@@ -52,9 +52,6 @@ class KeyRegistry {
   /// uses this, through combine() below.
   Digest master_mac(const char* domain, const Digest& d) const;
 
-  /// Interning statistics (tests + bench reporting).
-  const VerifyCache& mac_cache() const { return mac_cache_; }
-
   /// Process-unique instance id. Thread-local last-args memos key on this
   /// instead of `this`: a new registry can reuse a freed registry's
   /// address, and many digests (e.g. accusation digests) are identical
@@ -75,13 +72,14 @@ class KeyRegistry {
   std::vector<PrfKey> node_prf_;
   std::vector<PrfKey> master_prf_;  ///< single element; vector avoids a
                                     ///< default-constructible requirement
-  /// (key owner, domain tag, digest) is the full input of one MAC. All
-  /// four public operations are pure functions of this triple, so results
-  /// are memoized: in a broadcast run every recipient re-verifies the same
-  /// signature, and only the first verification pays for the HMAC. The
-  /// flat direct-mapped VerifyCache makes steady-state inserts
-  /// heap-allocation-free (DESIGN.md §14).
-  mutable VerifyCache mac_cache_;
+  // (key owner, domain tag, digest) is the full input of one MAC. All
+  // four public operations are pure functions of this triple, so results
+  // are memoized: in a broadcast run every recipient re-verifies the same
+  // signature, and only the first verification pays for the HMAC. The
+  // memo is a thread-local VerifyCache keyed on uid() (see cached_mac),
+  // NOT a member: node-sharded rounds call sign/verify on one registry
+  // from several worker threads concurrently, and a shared mutable member
+  // would race (DESIGN.md §14–15).
 };
 
 }  // namespace ambb

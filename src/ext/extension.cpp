@@ -149,6 +149,7 @@ RunResult run_base(const ExtConfig& cfg, Slot base_slots,
     b.value_bits = cfg.kappa_bits;  // digests and digest-fp votes
     b.opts = linear::Options::paper();
     b.adversary = "none";
+    b.node_jobs = cfg.node_jobs;
     b.trace = cfg.trace;
     b.input_for_slot = input_for_slot;
     b.sender_of = sender_of;
@@ -163,6 +164,7 @@ RunResult run_base(const ExtConfig& cfg, Slot base_slots,
     b.kappa_bits = cfg.kappa_bits;
     b.value_bits = cfg.kappa_bits;
     b.adversary = "none";
+    b.node_jobs = cfg.node_jobs;
     b.trace = cfg.trace;
     b.input_for_slot = input_for_slot;
     b.sender_of = sender_of;
@@ -178,6 +180,7 @@ RunResult run_base(const ExtConfig& cfg, Slot base_slots,
     b.kappa_bits = cfg.kappa_bits;
     b.value_bits = cfg.kappa_bits;
     b.adversary = "none";
+    b.node_jobs = cfg.node_jobs;
     b.trace = cfg.trace;
     b.input_for_slot = input_for_slot;
     b.sender_of = sender_of;
@@ -249,6 +252,10 @@ RunResult run_extension(const ExtConfig& cfg) {
   // ---- Phase 1: chunk dispersal (2 lock-step rounds per slot). ----
   CostLedger ledger(kind_names());
   Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire});
+  sim.set_node_jobs(cfg.node_jobs);
+  // Actors emit through the sim's router so sharded rounds can buffer
+  // worker-thread events and replay them in deterministic order.
+  ctx.trace = sim.actor_trace(cfg.trace);
   sim.set_trace(cfg.trace);
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<ExtNode>(v, &ctx));

@@ -28,6 +28,7 @@ RunResult run_linear_with(const RunRequest& rq, linear::Options opts) {
   cfg.value_bits = p.value_bits;
   cfg.opts = opts;
   cfg.adversary = p.adversary;
+  cfg.node_jobs = p.node_jobs;
   cfg.trace = rq.trace;
   return run_linear(cfg);
 }
@@ -110,6 +111,7 @@ std::vector<ProtocolInfo> build() {
         cfg.kappa_bits = p.kappa_bits;
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
+        cfg.node_jobs = p.node_jobs;
         cfg.trace = rq.trace;
         return run_quadratic(cfg);
       }});
@@ -127,6 +129,7 @@ std::vector<ProtocolInfo> build() {
     cfg.kappa_bits = p.kappa_bits;
     cfg.value_bits = p.value_bits;
     cfg.adversary = p.adversary;
+    cfg.node_jobs = p.node_jobs;
     cfg.trace = rq.trace;
     return run_dolev_strong(cfg);
   };
@@ -160,6 +163,7 @@ std::vector<ProtocolInfo> build() {
         cfg.kappa_bits = p.kappa_bits;
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
+        cfg.node_jobs = p.node_jobs;
         cfg.trace = rq.trace;
         return run_phase_king(cfg);
       }});
@@ -211,6 +215,7 @@ std::vector<ProtocolInfo> build() {
             cfg.eps = p.eps;
             cfg.base = base;
             cfg.adversary = p.adversary;
+            cfg.node_jobs = p.node_jobs;
             cfg.trace = rq.trace;
             return ext::run_extension(cfg);
           }});
@@ -236,6 +241,7 @@ std::vector<ProtocolInfo> build() {
         cfg.kappa_bits = p.kappa_bits;
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
+        cfg.node_jobs = p.node_jobs;
         cfg.trace = rq.trace;
         return run_hotstuff_demo(cfg);
       }});

@@ -33,6 +33,11 @@ struct CommonParams {
   /// layer translates a nonzero payload into value_bits = 8 * payload
   /// (the value travels inline), so the same axis prices both designs.
   std::uint64_t payload_bytes = 0;
+  /// Threads for the honest-node phase of each simulated round (DESIGN.md
+  /// §15). 1 = serial; 0 = one per hardware thread; results are
+  /// byte-identical for every value. Composes with the engine's run-level
+  /// --jobs as a multiplier on total threads (engine::resolve_node_jobs).
+  std::uint32_t node_jobs = 1;
 };
 
 /// One run, fully specified: the parameters plus an optional trace sink.

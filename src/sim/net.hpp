@@ -22,14 +22,26 @@
 // recipient order 0..n-1. This enumerates deliveries in exactly the order
 // the former eager-copy representation enumerated envelopes, so erase
 // indices (and therefore seeded adversary decisions) are unchanged.
+//
+// Node-sharded rounds (DESIGN.md §15): with set_node_jobs(W > 1) the
+// honest-actor phase of step() fans out over a persistent ShardPool.
+// Each worker runs a contiguous range of the ascending honest-id order
+// into a private TrafficLog shard (own arena) and a private trace-event
+// buffer; the main thread then merges shards in shard order, which IS
+// ascending node-id order — so record order, delivery bases, erase
+// indices, charge order, and JSONL traces are byte-identical to the
+// serial loop. Byzantine/rushing, adversary, accounting, and delivery
+// phases stay serial: they are cheap and order-sensitive.
 #pragma once
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <span>
+#include <thread>
 #include <type_traits>
 #include <vector>
 
@@ -37,6 +49,7 @@
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "sim/cost.hpp"
+#include "sim/shard_pool.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
 
@@ -134,14 +147,16 @@ class TrafficLog {
 /// THREAD-SAFETY: logically const access is NOT thread-safe. operator[]
 /// advances the mutable cursor_ memoization, so two threads indexing the
 /// SAME view instance race on it — a "read-only" view is a writer. This
-/// is by design (the cursor makes sequential scans O(1) amortized and a
-/// Simulation is a single-threaded instrument); the consequence for the
-/// experiment engine (src/engine/) is its isolation rule: concurrent
-/// jobs must each own their own Simulation and must never share one, nor
-/// any TrafficView derived from one. Passing a COPY of a view to another
-/// thread would be safe (each copy carries a private cursor; the
-/// static_assert below keeps copies trivial), but sharing one instance
-/// is not.
+/// is by design (the cursor makes sequential scans O(1) amortized); the
+/// consequence for the experiment engine (src/engine/) is its isolation
+/// rule: concurrent jobs must each own their own Simulation and must
+/// never share one, nor any TrafficView derived from one. Node-sharded
+/// rounds respect the same contract from the inside: honest actors get a
+/// default-constructed (empty) view, and the rushing/adversary views are
+/// only built in the serial phases — no populated view ever crosses a
+/// worker-thread boundary. Passing a COPY of a view to another thread
+/// would be safe (each copy carries a private cursor; the static_assert
+/// below keeps copies trivial), but sharing one instance is not.
 template <typename Msg>
 class TrafficView {
  public:
@@ -281,6 +296,44 @@ struct Accounting {
   std::function<Slot(const Msg&, Round sent_round)> slot;
 };
 
+/// Trace fan-in for node-sharded rounds. Actors always emit through one
+/// sink pointer (ProtocolContext::trace); when the honest phase runs on
+/// worker threads, events must not hit the real (single-threaded) sink
+/// concurrently — and must still come out in serial-equivalent order. The
+/// router solves both: a worker binds a thread-local buffer for the
+/// duration of its shard, so its actors' events are captured privately by
+/// value (Event::detail is a string literal, safe to copy); the main
+/// thread replays the buffers in shard order into the downstream sink
+/// during the merge. Off-shard emissions (serial phases, node_jobs == 1,
+/// driver-level events) find no bound buffer and pass straight through.
+class ActorTraceRouter final : public trace::TraceSink {
+ public:
+  void set_downstream(trace::TraceSink* sink) { downstream_ = sink; }
+  trace::TraceSink* downstream() const { return downstream_; }
+
+  void on_event(const trace::Event& e) override {
+    if (std::vector<trace::Event>* buf = bound_buffer()) {
+      buf->push_back(e);
+      return;
+    }
+    downstream_->on_event(e);
+  }
+
+  /// Capture this thread's emissions into `buf` (nullptr = pass-through).
+  /// Callers must unbind before the buffer dies.
+  static void bind_buffer(std::vector<trace::Event>* buf) {
+    bound_buffer() = buf;
+  }
+
+ private:
+  static std::vector<trace::Event>*& bound_buffer() {
+    thread_local std::vector<trace::Event>* buf = nullptr;
+    return buf;
+  }
+
+  trace::TraceSink* downstream_ = nullptr;
+};
+
 template <typename Msg, typename Policy = Accounting<Msg>>
 class Simulation final : CorruptionCtl<Msg> {
  public:
@@ -318,6 +371,32 @@ class Simulation final : CorruptionCtl<Msg> {
   /// are traced too. Pure observation: the execution is bit-identical
   /// with or without a sink.
   void set_trace(trace::TraceSink* sink) { trace_ = sink; }
+
+  /// Shard the honest-actor phase of step() across `jobs` threads
+  /// (0 = one per hardware thread, 1 = serial; results are byte-identical
+  /// for every value — see the header comment). Call before run, not
+  /// mid-round.
+  void set_node_jobs(unsigned jobs) {
+    if (jobs == 0) {
+      jobs = std::thread::hardware_concurrency();
+      if (jobs == 0) jobs = 1;
+    }
+    if (pool_ != nullptr && pool_->shards() != jobs) pool_.reset();
+    node_jobs_ = jobs;
+  }
+
+  unsigned node_jobs() const { return node_jobs_; }
+
+  /// The sink actors (ProtocolContext::trace) must emit through. For
+  /// node_jobs == 1 this is `downstream` itself; for sharded rounds it is
+  /// a router that buffers worker-thread events for the deterministic
+  /// merge. Returns nullptr when `downstream` is null, so untraced runs
+  /// skip event construction entirely. Call after set_node_jobs.
+  trace::TraceSink* actor_trace(trace::TraceSink* downstream) {
+    actor_router_.set_downstream(downstream);
+    if (downstream == nullptr) return nullptr;
+    return node_jobs_ > 1 ? &actor_router_ : downstream;
+  }
 
   Round now() const { return round_; }
 
@@ -367,9 +446,13 @@ class Simulation final : CorruptionCtl<Msg> {
 
     // 1. Honest actors act on their inboxes.
     auto t0 = Clock::now();
-    for (NodeId v : honest_ids_) {
-      RoundApi<Msg> api(v, n_, &cur_);
-      actors_[v]->on_round(round_, inbox_of(v), TrafficView<Msg>{}, api);
+    if (node_jobs_ > 1) {
+      run_honest_sharded();
+    } else {
+      for (NodeId v : honest_ids_) {
+        RoundApi<Msg> api(v, n_, &cur_);
+        actors_[v]->on_round(round_, inbox_of(v), TrafficView<Msg>{}, api);
+      }
     }
     const std::size_t honest_deliveries = cur_.deliveries();
     auto t1 = Clock::now();
@@ -499,6 +582,80 @@ class Simulation final : CorruptionCtl<Msg> {
   }
 
  private:
+  /// Per-worker private state for one sharded honest phase. The log has
+  /// its own arena, so workers never contend on an allocator; events are
+  /// buffered by value (Event is self-contained: detail is a literal).
+  struct Shard {
+    TrafficLog<Msg> log;
+    std::vector<trace::Event> events;
+    std::size_t first = 0;  ///< range [first, last) into honest_ids_
+    std::size_t last = 0;
+    std::exception_ptr error;
+  };
+
+  /// Sharded form of phase 1. Equivalence argument: honest_ids_ is
+  /// ascending and is split into contiguous ranges, one per shard, so
+  /// concatenating the shard logs in shard order visits actors in exactly
+  /// the serial order. Re-adding each record through cur_ recomputes the
+  /// delivery bases against the merged counter, reproducing the serial
+  /// bases — everything downstream (erase indices, charging, delivery,
+  /// rushing views) reads cur_ and cannot tell the difference.
+  void run_honest_sharded() {
+    const std::size_t h = honest_ids_.size();
+    const unsigned w = node_jobs_;
+    if (shards_.size() != w) shards_.resize(w);
+    if (pool_ == nullptr) pool_ = std::make_unique<ShardPool>(w);
+    const std::size_t chunk = (h + w - 1) / w;
+    for (unsigned s = 0; s < w; ++s) {
+      shards_[s].first = std::min(static_cast<std::size_t>(s) * chunk, h);
+      shards_[s].last =
+          std::min(static_cast<std::size_t>(s + 1) * chunk, h);
+    }
+    pool_->run(&Simulation::shard_entry, this);
+    // First error in shard order, so a throwing actor fails the run
+    // deterministically regardless of worker scheduling. The round's
+    // partial traffic is dropped with the exception.
+    for (Shard& sh : shards_) {
+      if (sh.error) std::rethrow_exception(sh.error);
+    }
+    trace::TraceSink* downstream = actor_router_.downstream();
+    for (Shard& sh : shards_) {
+      if (downstream != nullptr) {
+        for (const trace::Event& ev : sh.events) downstream->on_event(ev);
+      }
+      for (const auto& rec : sh.log.records()) {
+        if (rec.is_multicast()) {
+          cur_.add_multicast(rec.from, rec.msg);
+        } else {
+          cur_.add_unicast(rec.from, rec.to, rec.msg);
+        }
+      }
+    }
+  }
+
+  static void shard_entry(void* ctx, unsigned shard) {
+    static_cast<Simulation*>(ctx)->run_shard(shard);
+  }
+
+  void run_shard(unsigned s) {
+    Shard& sh = shards_[s];
+    sh.error = nullptr;
+    sh.log.reset(n_);
+    sh.events.clear();
+    const bool buffer_trace = actor_router_.downstream() != nullptr;
+    if (buffer_trace) ActorTraceRouter::bind_buffer(&sh.events);
+    try {
+      for (std::size_t i = sh.first; i < sh.last; ++i) {
+        const NodeId v = honest_ids_[i];
+        RoundApi<Msg> api(v, n_, &sh.log);
+        actors_[v]->on_round(round_, inbox_of(v), TrafficView<Msg>{}, api);
+      }
+    } catch (...) {
+      sh.error = std::current_exception();
+    }
+    if (buffer_trace) ActorTraceRouter::bind_buffer(nullptr);
+  }
+
   std::span<const Delivery<Msg>> inbox_of(NodeId v) const {
     return std::span<const Delivery<Msg>>(inboxes_[v].data(),
                                           inboxes_[v].size());
@@ -585,6 +742,14 @@ class Simulation final : CorruptionCtl<Msg> {
   std::vector<RoundStats> round_stats_;
   RoundStatsSummary summary_;
   trace::TraceSink* trace_ = nullptr;
+  /// Node-sharding state (all idle when node_jobs_ == 1). The pool and
+  /// shard buffers are created lazily on the first sharded round and
+  /// persist across rounds — steady-state sharded rounds allocate
+  /// nothing beyond what the serial path does.
+  unsigned node_jobs_ = 1;
+  std::unique_ptr<ShardPool> pool_;
+  std::vector<Shard> shards_;
+  ActorTraceRouter actor_router_;
 };
 
 }  // namespace ambb

@@ -1,0 +1,61 @@
+#include "sim/shard_pool.hpp"
+
+#include "common/check.hpp"
+
+namespace ambb {
+
+ShardPool::ShardPool(unsigned shards) {
+  AMBB_CHECK_MSG(shards >= 2, "ShardPool needs >= 2 shards, got " << shards);
+  threads_.reserve(shards - 1);
+  for (unsigned s = 1; s < shards; ++s) {
+    threads_.emplace_back([this, s] { worker_loop(s); });
+  }
+}
+
+ShardPool::~ShardPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ShardPool::run(Task task, void* ctx) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task_ = task;
+    ctx_ = ctx;
+    running_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  // Shard 0 runs here: the caller is otherwise idle until the join, and
+  // in the common 2-shard case this halves the wakeup count.
+  task(ctx, 0);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [this] { return running_ == 0; });
+}
+
+void ShardPool::worker_loop(unsigned shard) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Task task;
+    void* ctx;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      start_cv_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      task = task_;
+      ctx = ctx_;
+    }
+    task(ctx, shard);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--running_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+}  // namespace ambb

@@ -1,0 +1,68 @@
+// Persistent worker pool for node-sharded round execution (DESIGN.md §15).
+//
+// A Simulation running with node_jobs > 1 splits each round's honest-node
+// loop into contiguous node-id shards and runs them on this pool. The pool
+// is deliberately minimal — one task at a time, fork/join semantics:
+//
+//   pool.run(task, ctx);   // task(ctx, shard) for shard in [0, shards)
+//
+// run() executes shard 0 on the calling thread (so a 2-shard round costs
+// one wakeup, not two) and blocks until every shard has returned. The
+// mutex/condition-variable handshake establishes happens-before in both
+// directions: writes the caller makes before run() are visible to every
+// worker, and writes workers make inside the task are visible to the
+// caller after run() returns. That is the entire synchronization story of
+// sharded rounds — workers write only shard-private state (TrafficLog
+// shard, event buffer, disjoint CommitLog cells), and the caller merges
+// serially after the join.
+//
+// Tasks are raw function pointers plus a context pointer, not
+// std::function: run() is called once per simulated round (millions of
+// times per bench) and must not allocate.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ambb {
+
+class ShardPool {
+ public:
+  using Task = void (*)(void* ctx, unsigned shard);
+
+  /// Spawns `shards - 1` worker threads (shard 0 runs on the caller).
+  /// Requires shards >= 2 — a 1-shard pool is just the serial loop, and
+  /// callers are expected to keep that path pool-free.
+  explicit ShardPool(unsigned shards);
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  unsigned shards() const { return static_cast<unsigned>(threads_.size()) + 1; }
+
+  /// Run task(ctx, s) for every shard s in [0, shards()); returns after
+  /// all have finished. Exceptions must not escape the task — workers
+  /// have no caller to propagate to, so tasks capture their own
+  /// std::exception_ptr (Simulation stores one per shard and rethrows
+  /// the first, in shard order, after the join).
+  void run(Task task, void* ctx);
+
+ private:
+  void worker_loop(unsigned shard);
+
+  std::mutex mu_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  Task task_ = nullptr;
+  void* ctx_ = nullptr;
+  std::uint64_t generation_ = 0;  ///< bumped per run(); workers wait on it
+  unsigned running_ = 0;          ///< workers still inside the current task
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace ambb

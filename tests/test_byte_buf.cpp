@@ -77,5 +77,51 @@ TEST(Decoder, RemainingTracksPosition) {
   EXPECT_EQ(d.remaining(), 2u);
 }
 
+TEST(Decoder, HostileLengthNearSizeMaxThrows) {
+  // The old bound check computed pos_ + len, which wraps for len near
+  // SIZE_MAX and "passes" — get_bytes would then read far out of bounds.
+  Encoder e;
+  e.put_u32(0xAABBCCDD);
+  Decoder d(e.bytes());
+  d.get_u16();  // pos_ = 2, so pos_ + SIZE_MAX wraps to 1 < size()
+  EXPECT_THROW(d.get_bytes(SIZE_MAX), CheckError);
+  EXPECT_THROW(d.get_bytes(SIZE_MAX - 1), CheckError);
+  EXPECT_THROW(d.get_bytes(3), CheckError);  // honest but too long
+  EXPECT_EQ(d.get_bytes(2).size(), 2u);      // exact remainder still fine
+}
+
+TEST(Encoder, PutU16CheckedRejectsWideValues) {
+  Encoder e;
+  e.put_u16_checked(0xFFFF);  // max fits
+  EXPECT_EQ(e.size(), 2u);
+  EXPECT_THROW(e.put_u16_checked(0x10000), CheckError);
+  EXPECT_THROW(e.put_u16_checked(std::uint64_t{1} << 40), CheckError);
+}
+
+TEST(Encoder, ScratchReacquireMidEncodeThrows) {
+  Encoder& e = Encoder::scratch();
+  e.put_u8(1);
+  // Nested acquisition used to silently clear the outer encoding; the
+  // busy flag turns that corruption into a diagnostic.
+  EXPECT_THROW(Encoder::scratch(), CheckError);
+  // The outer encoding is untouched and still consumable.
+  EXPECT_EQ(e.view().size(), 1u);
+  // view() released the guard: re-acquisition is legal again and clears.
+  Encoder& e2 = Encoder::scratch();
+  EXPECT_EQ(e2.size(), 0u);
+  e2.clear();  // release for later tests on this thread
+}
+
+TEST(Encoder, ScratchClearReleasesGuard) {
+  Encoder& e = Encoder::scratch();
+  e.put_u16(7);
+  e.clear();  // abandoned encoding
+  Encoder& e2 = Encoder::scratch();
+  e2.put_u16(8);
+  EXPECT_EQ(e2.bytes().size(), 2u);  // bytes() also releases
+  EXPECT_NO_THROW(Encoder::scratch());
+  e2.clear();  // same thread_local instance; release for later tests
+}
+
 }  // namespace
 }  // namespace ambb

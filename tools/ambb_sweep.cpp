@@ -1,12 +1,17 @@
 // ambb_sweep — run declarative experiment sweeps on the parallel engine.
 //
-//   ambb_sweep --spec FILE [--jobs N] [--filter SUBSTR] [--out NAME]
-//              [--trace-dir DIR] [--list]
+//   ambb_sweep --spec FILE [--jobs N] [--node-jobs N] [--filter SUBSTR]
+//              [--out NAME] [--trace-dir DIR] [--list]
 //
 //   --spec FILE      sweep specification (format: src/engine/sweep.hpp)
 //   --jobs N         worker threads; 0 or omitted = one per hardware
 //                    thread; 1 = serial (byte-identical results either
 //                    way — that is the engine's determinism contract)
+//   --node-jobs N    threads for the honest-node phase inside each run;
+//                    1 (default) = serial rounds, 0 = auto (hardware
+//                    threads / run-level jobs, so the two axes compose
+//                    without oversubscribing). Results are byte-identical
+//                    for every value.
 //   --filter SUBSTR  keep only jobs whose label contains SUBSTR
 //   --out NAME       write BENCH_<NAME>.json (default: sweep)
 //   --trace-dir DIR  write one JSONL event trace per run into DIR
@@ -41,13 +46,14 @@ struct Cli {
   std::string out = "sweep";
   std::string trace_dir;
   unsigned jobs = 0;
+  unsigned node_jobs = 1;
   bool list = false;
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
-               "usage: ambb_sweep --spec FILE [--jobs N] [--filter SUBSTR] "
-               "[--out NAME] [--trace-dir DIR] [--list]\n");
+               "usage: ambb_sweep --spec FILE [--jobs N] [--node-jobs N] "
+               "[--filter SUBSTR] [--out NAME] [--trace-dir DIR] [--list]\n");
 }
 
 bool parse_cli(int argc, char** argv, Cli& cli) {
@@ -68,6 +74,10 @@ bool parse_cli(int argc, char** argv, Cli& cli) {
       const char* v = value();
       if (v == nullptr) return false;
       cli.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--node-jobs") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      cli.node_jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
     } else if (arg == "--filter") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -148,8 +158,12 @@ int main(int argc, char** argv) {
   }
 
   const engine::Engine eng(cli.jobs);
-  std::printf("ambb_sweep: %zu jobs on %u worker thread%s\n",
-              sweep_jobs.size(), eng.jobs(), eng.jobs() == 1 ? "" : "s");
+  const unsigned node_jobs = engine::resolve_node_jobs(cli.node_jobs,
+                                                       eng.jobs());
+  for (auto& sj : sweep_jobs) sj.params.node_jobs = node_jobs;
+  std::printf("ambb_sweep: %zu jobs on %u worker thread%s, %u node shard%s\n",
+              sweep_jobs.size(), eng.jobs(), eng.jobs() == 1 ? "" : "s",
+              node_jobs, node_jobs == 1 ? "" : "s");
 
   const auto t0 = std::chrono::steady_clock::now();
   const std::vector<engine::JobOutcome> outcomes =
