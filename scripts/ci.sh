@@ -5,8 +5,8 @@
 #   scripts/ci.sh tier1    # only the tier-1 build + full test suite
 #   scripts/ci.sh trace    # only the trace suite (`ctest -L trace`) + a
 #                          # sweep --trace-dir smoke run
-#   scripts/ci.sh tsan     # only the TSan build + `ctest -L "engine|ext|arena"`
-#   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine|ext|arena"`
+#   scripts/ci.sh tsan     # only the TSan build + `ctest -L "engine|ext|arena|sched"`
+#   scripts/ci.sh asan     # only the ASan+UBSan build + `ctest -L "adversary|engine|ext|arena|sched"`
 #   scripts/ci.sh perf_smoke  # bench_f2_scaling smoke rows vs the
 #                             # committed BENCH_f2_scaling.json
 #
@@ -36,7 +36,11 @@
 # too: raw bump-pointer memory and thread_local caches under the worker
 # pool are exactly what ASan/TSan are for. test_alloc_hotpath stays out
 # of the sanitizer lanes by design (the sanitizer allocators bypass the
-# counting operator-new hooks).
+# counting operator-new hooks). The sched suite (event-queue scheduler,
+# delay policies, timing faults — DESIGN.md §16) rides both sanitizer
+# lanes too: the pending-delivery queue holds payload copies across
+# rounds and is filled from the sharded delivery phase, exactly the
+# lifetime + threading mix the sanitizers exist to check.
 #
 # The perf_smoke stage is the measurement-drift gate for the zero-copy
 # hot path: it runs bench_f2_scaling in AMBB_F2_SMOKE=1 mode (one small-n
@@ -88,7 +92,7 @@ tsan() {
   echo "== tsan: configure + build =="
   cmake --preset tsan
   cmake --build --preset tsan -j "$jobs"
-  echo "== tsan: ctest -L 'engine|ext|arena' =="
+  echo "== tsan: ctest -L 'engine|ext|arena|sched' =="
   # halt_on_error promotes any race report to a test failure.
   TSAN_OPTIONS="halt_on_error=1" ctest --preset tsan -j "$jobs"
   echo "== tsan: node-jobs axis (AMBB_NODE_JOBS=4) =="
@@ -104,7 +108,7 @@ asan() {
   echo "== asan: configure + build =="
   cmake --preset asan
   cmake --build --preset asan -j "$jobs"
-  echo "== asan: ctest -L 'adversary|engine|ext|arena' =="
+  echo "== asan: ctest -L 'adversary|engine|ext|arena|sched' =="
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=0" \
     UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     ctest --preset asan -j "$jobs"

@@ -17,6 +17,14 @@ const char* fault_kind_name(FaultKind k) {
   return "?";
 }
 
+const char* net_fault_kind_name(NetFaultKind k) {
+  switch (k) {
+    case NetFaultKind::kDelay: return "delay";
+    case NetFaultKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
 void validate(const FaultSchedule& s, std::uint32_t n, std::uint32_t f) {
   std::vector<Round> corrupt_from(n, kRoundMax);  // kRoundMax = never
   std::uint32_t distinct = 0;
@@ -72,6 +80,17 @@ void validate(const FaultSchedule& s, std::uint32_t n, std::uint32_t f) {
       }
     }
   }
+  for (const auto& t : s.net_faults) {
+    AMBB_CHECK_MSG(t.sender < n, net_fault_kind_name(t.kind)
+                                     << ": sender " << t.sender
+                                     << " out of range, n=" << n);
+    AMBB_CHECK_MSG(t.to >= t.from, net_fault_kind_name(t.kind)
+                                       << "(" << t.sender
+                                       << "): inverted window");
+    if (t.kind == NetFaultKind::kDelay) {
+      AMBB_CHECK_MSG(t.extra >= 1, "delay(" << t.sender << "): extra 0");
+    }
+  }
 }
 
 std::string describe(const FaultSchedule& s) {
@@ -105,6 +124,18 @@ std::string describe(const FaultSchedule& s) {
     if (a.kind == FaultKind::kSelective) {
       for (NodeId v : a.keep) os << "," << v;
     }
+    os << ")";
+  }
+  for (const auto& t : s.net_faults) {
+    sep();
+    os << net_fault_kind_name(t.kind) << "(" << t.sender << "," << t.from
+       << ",";
+    if (t.to == kRoundMax) {
+      os << "*";
+    } else {
+      os << t.to;
+    }
+    if (t.kind == NetFaultKind::kDelay) os << "," << t.extra;
     os << ")";
   }
   if (first) os << "(empty)";

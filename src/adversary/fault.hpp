@@ -22,6 +22,20 @@
 //                                 at the wrong recipients)
 //   stagger(v, from, to, d)       v's round-r output is withheld and
 //                                 released in round r+d
+//   delay(v, from, to, d)         timing fault: every delivery v emits in
+//                                 rounds [from, to] arrives d extra
+//                                 rounds late (clamped to the net
+//                                 policy's bound; needs bounded/async)
+//   reorder(v, from, to)          timing fault: v's deliveries in the
+//                                 window get seeded per-delivery extra
+//                                 delays in [0, bound] — arrival order is
+//                                 scrambled relative to emission order
+//
+// delay/reorder are NETWORK faults, not corruptions: under a
+// partially-synchronous or asynchronous policy the adversary schedules
+// the network itself, so they may target ANY sender — honest included —
+// and consume no corruption budget. They are rejected under lockstep
+// (the synchronous model has no timing power).
 //
 // Faults compose by union (a schedule is a set of events; several faults
 // may target the same node) and sequence (round windows). The types in
@@ -90,14 +104,38 @@ struct ActorFault {
   std::vector<NodeId> keep;       ///< kSelective: recipients still served
 };
 
+enum class NetFaultKind : std::uint8_t {
+  kDelay,
+  kReorder,
+};
+
+const char* net_fault_kind_name(NetFaultKind k);
+
+/// A timing fault: the network adversary defers deliveries emitted by
+/// `sender` (any node — timing needs no corruption) while the round
+/// window [from, to] is active. kDelay adds a fixed `extra` rounds to
+/// every matching delivery; kReorder draws a per-delivery extra in
+/// [0, policy bound] from a (seed, salt, round)-keyed RNG, scrambling
+/// arrival order. Requires a non-lockstep net policy.
+struct NetFault {
+  NetFaultKind kind = NetFaultKind::kDelay;
+  NodeId sender = kNoNode;
+  Round from = 0;
+  Round to = kRoundMax;     ///< inclusive
+  std::uint32_t extra = 1;  ///< kDelay: extra rounds added
+  std::uint64_t salt = 0;   ///< kReorder: per-rule RNG salt
+};
+
 /// A complete adversary description: the union of all scheduled events.
 struct FaultSchedule {
   std::vector<CorruptEvent> corruptions;
   std::vector<EraseEvent> erasures;
   std::vector<ActorFault> actor_faults;
+  std::vector<NetFault> net_faults;
 
   bool empty() const {
-    return corruptions.empty() && erasures.empty() && actor_faults.empty();
+    return corruptions.empty() && erasures.empty() &&
+           actor_faults.empty() && net_faults.empty();
   }
 };
 
@@ -109,8 +147,12 @@ struct FaultSchedule {
 ///   - erases deliveries of a sender that is not corrupt by the end of
 ///     the erase round (erase(r, v) needs corrupt(r', v) with r' <= r+1),
 ///   - attaches an actor fault to a node with no corrupt event, or to
-///     rounds before the node turns Byzantine (from < corrupt round), or
-///   - uses a kStagger delay of 0 or an inverted window (to < from).
+///     rounds before the node turns Byzantine (from < corrupt round),
+///   - uses a kStagger delay of 0 or an inverted window (to < from), or
+///   - uses a net fault with a kDelay extra of 0, an inverted window, or
+///     a sender >= n (net faults need NO corrupt event: timing is a
+///     network power — whether the run's net policy allows timing at all
+///     is checked at materialization time, not here).
 /// A validated schedule is budget-respecting by construction: the
 /// simulator's corruption-budget CHECK can only fire if the caller runs
 /// several adversaries against one simulation.

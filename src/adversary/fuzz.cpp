@@ -8,17 +8,19 @@
 namespace ambb::adversary {
 
 FaultSchedule generate_schedule(std::uint32_t n, std::uint32_t f,
-                                Round horizon, std::uint64_t seed) {
+                                Round horizon, std::uint64_t seed,
+                                std::uint32_t timing_bound) {
   AMBB_CHECK(n >= 1 && f < n);
   FaultSchedule s;
-  if (f == 0 || horizon == 0) return s;
+  if (horizon == 0) return s;
+  if (f == 0 && timing_bound == 0) return s;
 
   Rng rng(seed ^ 0xF0A57C4EDC11ULL);
 
   // How many nodes to corrupt: at least one (an empty adversary tells us
   // nothing), at most the full budget f.
   const std::uint32_t count =
-      1 + static_cast<std::uint32_t>(rng.uniform(f));
+      f == 0 ? 0 : 1 + static_cast<std::uint32_t>(rng.uniform(f));
   std::vector<std::uint64_t> picks = rng.sample_distinct(n, count);
 
   for (std::uint64_t pick : picks) {
@@ -90,6 +92,30 @@ FaultSchedule generate_schedule(std::uint32_t n, std::uint32_t f,
           static_cast<std::uint32_t>(rng.uniform_range(100, kDensityAll));
       e.salt = rng.next_u64();
       s.erasures.push_back(e);
+    }
+  }
+
+  // Timing faults (bounded/async runs only): drawn AFTER every content
+  // fault so the timing_bound == 0 path consumes exactly the RNG stream
+  // the pre-scheduler generator did. Senders are arbitrary — delaying
+  // honest traffic is precisely the power partial synchrony grants.
+  if (timing_bound > 0) {
+    const std::uint32_t tcount =
+        1 + static_cast<std::uint32_t>(rng.uniform(3));
+    for (std::uint32_t j = 0; j < tcount; ++j) {
+      NetFault t;
+      t.sender = static_cast<NodeId>(rng.uniform(n));
+      t.from = rng.uniform(horizon);
+      t.to = rng.chance(0.5) ? kRoundMax
+                             : t.from + rng.uniform_range(1, horizon);
+      if (rng.chance(0.5)) {
+        t.kind = NetFaultKind::kDelay;
+        t.extra = 1 + static_cast<std::uint32_t>(rng.uniform(timing_bound));
+      } else {
+        t.kind = NetFaultKind::kReorder;
+        t.salt = rng.next_u64();
+      }
+      s.net_faults.push_back(t);
     }
   }
 

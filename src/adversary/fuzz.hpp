@@ -24,9 +24,18 @@
 namespace ambb::adversary {
 
 /// Random schedule over `horizon` rounds (the driver's slots *
-/// rounds_per_slot). Always validate()-clean for (n, f). f == 0 yields an
-/// empty schedule.
+/// rounds_per_slot). Always validate()-clean for (n, f).
+///
+/// `timing_bound` is the net policy's max extra delay (NetPolicy::
+/// max_extra()): when nonzero the generator additionally draws 1..3
+/// delay/reorder timing faults — against ANY sender, honest included,
+/// since timing is a network power — with delays scaled to the bound.
+/// When zero (lockstep) no timing faults are drawn AND no extra RNG
+/// state is consumed, so lockstep schedules are byte-identical to the
+/// pre-scheduler generator. f == 0 yields a schedule with at most
+/// timing faults (a pure network adversary).
 FaultSchedule generate_schedule(std::uint32_t n, std::uint32_t f,
-                                Round horizon, std::uint64_t seed);
+                                Round horizon, std::uint64_t seed,
+                                std::uint32_t timing_bound = 0);
 
 }  // namespace ambb::adversary

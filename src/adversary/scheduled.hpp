@@ -288,6 +288,28 @@ class ScheduledAdversary final : public Adversary<Msg> {
         ctl.erase(idx);
       }
     }
+    // Timing faults: the network adversary defers deliveries of ANY
+    // sender (no corruption needed) — possible only under a bounded or
+    // async policy; validate + make_scheduled_adversary reject timing
+    // schedules on lockstep runs before we get here.
+    for (const auto& t : sched_.net_faults) {
+      if (r < t.from || r > t.to) continue;
+      const std::uint32_t bound = ctl.net().max_extra();
+      // Per-(rule, round) RNG, same keying idiom as erase rules.
+      std::uint64_t h =
+          seed_ ^ t.salt ^ (0xD1B54A32D192ED03ULL * (r + 1));
+      Rng rng(splitmix64(h));
+      for (std::size_t idx = 0; idx < traffic.size(); ++idx) {
+        if (traffic[idx].from != t.sender) continue;
+        const std::uint32_t extra =
+            t.kind == NetFaultKind::kDelay
+                ? t.extra
+                : static_cast<std::uint32_t>(
+                      rng.uniform(static_cast<std::uint64_t>(bound) + 1));
+        if (extra == 0) continue;
+        ctl.delay(idx, extra);
+      }
+    }
   }
 
  private:
@@ -314,12 +336,16 @@ struct ScheduleEnv {
   Round horizon = 0;  ///< total rounds the driver will execute
   typename ScheduledAdversary<Msg>::ActorFactory honest_factory;
   trace::TraceSink* trace = nullptr;  ///< optional event sink, not owned
+  /// The run's delay policy: gates timing faults (delay/reorder are
+  /// rejected under lockstep) and scales fuzz-generated timing faults to
+  /// the policy bound.
+  NetPolicy net{};
 };
 
 /// Build the adversary for any framework spec ("sched:..." or
 /// "fuzz[:profile]"). Parses / generates, validates against (n, f) and
 /// materializes. Throws CheckError on malformed or budget-violating
-/// specs.
+/// specs, and on timing faults under a lockstep policy.
 template <typename Msg>
 std::unique_ptr<ScheduledAdversary<Msg>> make_scheduled_adversary(
     const std::string& spec, const ScheduleEnv<Msg>& env) {
@@ -328,11 +354,19 @@ std::unique_ptr<ScheduledAdversary<Msg>> make_scheduled_adversary(
   if (is_fuzz_spec(spec)) {
     std::uint64_t h =
         env.seed + 0x9E3779B97F4A7C15ULL * (fuzz_profile(spec) + 1);
-    s = generate_schedule(env.n, env.f, env.horizon, splitmix64(h));
+    // Under lockstep max_extra() is 0 and the generator emits no timing
+    // faults — and consumes no extra RNG draws, so lockstep fuzz
+    // schedules are byte-identical to the pre-scheduler generator.
+    s = generate_schedule(env.n, env.f, env.horizon, splitmix64(h),
+                          env.net.max_extra());
   } else {
     s = parse_schedule_spec(spec);
   }
   validate(s, env.n, env.f);
+  AMBB_CHECK_MSG(s.net_faults.empty() || !env.net.lockstep(),
+                 "schedule uses delay/reorder timing faults but the net "
+                 "policy is lockstep — run with --net bounded:<delta> or "
+                 "async[:cap]");
   auto adv = std::make_unique<ScheduledAdversary<Msg>>(
       std::move(s), env.n, env.seed, env.honest_factory);
   adv->set_trace(env.trace);

@@ -161,6 +161,23 @@ FaultSchedule parse_schedule_spec(const std::string& spec) {
         a.keep.push_back(static_cast<NodeId>(parse_u64(op, i)));
       }
       s.actor_faults.push_back(a);
+    } else if (op.name == "delay") {
+      need_args(op, 4, 4);
+      NetFault t;
+      t.kind = NetFaultKind::kDelay;
+      t.sender = static_cast<NodeId>(parse_u64(op, 0));
+      t.from = parse_u64(op, 1);
+      t.to = parse_round_or_star(op, 2);
+      t.extra = static_cast<std::uint32_t>(parse_u64(op, 3));
+      s.net_faults.push_back(t);
+    } else if (op.name == "reorder") {
+      need_args(op, 3, 3);
+      NetFault t;
+      t.kind = NetFaultKind::kReorder;
+      t.sender = static_cast<NodeId>(parse_u64(op, 0));
+      t.from = parse_u64(op, 1);
+      t.to = parse_round_or_star(op, 2);
+      s.net_faults.push_back(t);
     } else {
       AMBB_CHECK_MSG(false, "sched spec: unknown op '" << op.name << "'");
     }

@@ -17,6 +17,12 @@
 //   selective(v,from,to,k...) v's sends reach only recipients k...
 //   shuffle(v,from,to)        permute v's per-recipient payloads
 //   stagger(v,from,to,d)      v's round-r output is released in round r+d
+//   delay(v,from,to,d)        timing: v's deliveries in [from, to] arrive
+//                             d extra rounds late (net-policy clamped;
+//                             needs a bounded/async net, any sender)
+//   reorder(v,from,to)        timing: v's deliveries in the window get
+//                             seeded per-delivery extra delays, so their
+//                             arrival order is scrambled
 //
 // Example — the strongly adaptive proposal-erasure attack: corrupt the
 // slot-1 sender right after it multicasts (round 1) and remove the copies

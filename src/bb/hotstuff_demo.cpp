@@ -291,16 +291,15 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
   };
   Sim sim(cfg.n, std::max<std::uint32_t>(cfg.f, 1), &ledger,
           CostPolicy{ctx.wire, ctx.sched});
-  sim.set_node_jobs(cfg.node_jobs);
   // Actors emit through the sim's router so sharded rounds can buffer
   // worker-thread events and replay them in deterministic order.
-  ctx.trace = sim.actor_trace(cfg.trace);
-  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
+  ctx.trace = sim.actor_sink(cfg.trace);
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<HsNode>(v, &ctx));
   }
   const std::uint64_t total_rounds =
       static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
+  const NetPolicy net = make_net_policy(cfg.net, cfg.seed);
   std::unique_ptr<Adversary<Msg>> adversary;
   if (adversary::is_schedule_spec(cfg.adversary)) {
     adversary::ScheduleEnv<Msg> env;
@@ -309,18 +308,23 @@ RunResult run_hotstuff_demo(const HsConfig& cfg) {
     env.seed = cfg.seed ^ 0xAD7E25A1ULL;
     env.horizon = total_rounds;
     env.trace = cfg.trace;
+    env.net = net;
     env.honest_factory = [ctxp = &ctx](NodeId v) {
       return std::make_unique<HsNode>(v, ctxp);
     };
     adversary = adversary::make_scheduled_adversary<Msg>(cfg.adversary, env);
-    sim.bind_adversary(adversary.get());
   } else if (cfg.adversary == "selective") {
     adversary = std::make_unique<SelectiveHsAdversary>(&ctx);
-    sim.bind_adversary(adversary.get());
   } else {
     AMBB_CHECK_MSG(cfg.adversary == "none",
                    "unknown hs adversary " << cfg.adversary);
   }
+  SimConfig<Msg> sc;
+  sc.trace = cfg.trace;
+  sc.node_jobs = cfg.node_jobs;
+  sc.net = net;
+  sc.adversary = adversary.get();
+  sim.configure(sc);
   for (std::uint64_t i = 0; i < total_rounds; ++i) {
     if (ctx.sched.offset_of(i) == 0) {
       const Slot k = ctx.sched.slot_of(i);

@@ -168,7 +168,8 @@ std::unique_ptr<Adversary<Msg>> make_adaptive_erase(const Context* ctx,
 std::unique_ptr<Adversary<Msg>> make_adversary(const std::string& spec,
                                                const Context* ctx,
                                                std::uint64_t seed,
-                                               Round horizon) {
+                                               Round horizon,
+                                               NetPolicy net) {
   if (spec == "none") return nullptr;
   if (adversary::is_schedule_spec(spec)) {
     adversary::ScheduleEnv<Msg> env;
@@ -177,6 +178,7 @@ std::unique_ptr<Adversary<Msg>> make_adversary(const std::string& spec,
     env.seed = seed;
     env.horizon = horizon;
     env.trace = ctx->trace;
+    env.net = net;
     // No-op Deviation marker: the corrupted-seat replica is behaviourally
     // honest, but any honest-only invariant in LinearNode must treat it
     // as Byzantine (it may start from fresh state mid-run).

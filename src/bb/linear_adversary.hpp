@@ -37,10 +37,13 @@ namespace ambb::linear {
 
 /// Returns nullptr for "none". Throws CheckError on an unknown spec.
 /// `horizon` is the total number of rounds the driver will run (used by
-/// the "fuzz" schedule generator to place events).
+/// the "fuzz" schedule generator to place events). `net` is the run's
+/// delay policy: it gates delay/reorder timing faults (rejected under
+/// lockstep) and scales fuzz-generated delays.
 std::unique_ptr<Adversary<Msg>> make_adversary(const std::string& spec,
                                                const Context* ctx,
                                                std::uint64_t seed,
-                                               Round horizon);
+                                               Round horizon,
+                                               NetPolicy net = {});
 
 }  // namespace ambb::linear

@@ -1036,20 +1036,24 @@ RunResult run_linear(const LinearConfig& cfg) {
     return static_cast<NodeId>((s - 1) % n);
   };
   Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire, ctx.sched});
-  sim.set_node_jobs(cfg.node_jobs);
   // Actors emit through the sim's router so sharded rounds can buffer
   // worker-thread events and replay them in deterministic order.
-  ctx.trace = sim.actor_trace(cfg.trace);
-  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
+  ctx.trace = sim.actor_sink(cfg.trace);
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<LinearNode>(v, &ctx));
   }
   const std::uint64_t total_rounds =
       static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
   sim.reserve_rounds(total_rounds);
+  const NetPolicy net = make_net_policy(cfg.net, cfg.seed);
   auto adversary = make_adversary(cfg.adversary, &ctx,
-                                  cfg.seed ^ 0xAD7E25A1ULL, total_rounds);
-  if (adversary != nullptr) sim.bind_adversary(adversary.get());
+                                  cfg.seed ^ 0xAD7E25A1ULL, total_rounds, net);
+  SimConfig<Msg> sc;
+  sc.trace = cfg.trace;
+  sc.node_jobs = cfg.node_jobs;
+  sc.net = net;
+  sc.adversary = adversary.get();
+  sim.configure(sc);
 
   for (std::uint64_t i = 0; i < total_rounds; ++i) {
     if (i % ctx.sched.rounds_per_slot() == 0) {

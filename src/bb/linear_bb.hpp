@@ -391,6 +391,10 @@ struct LinearConfig {
   /// Honest-phase shard threads per round (0 = auto, 1 = serial;
   /// byte-identical results for every value — DESIGN.md §15).
   std::uint32_t node_jobs = 1;
+  /// Network delay policy (DESIGN.md §16): "lockstep" (default) |
+  /// "bounded:<delta>" | "async[:<cap>]". The run seed is mixed in per
+  /// run (make_net_policy), so the execution stays seed-deterministic.
+  std::string net = "lockstep";
   trace::TraceSink* trace = nullptr;
   /// Optional overrides; defaults: round-robin sender, hash-like inputs.
   std::function<Value(Slot)> input_for_slot;

@@ -284,16 +284,15 @@ RunResult run_phase_king(const PkConfig& cfg) {
   };
   Sim sim(cfg.n, cfg.f == 0 ? 1 : cfg.f, &ledger,
           CostPolicy{ctx.wire, ctx.sched});
-  sim.set_node_jobs(cfg.node_jobs);
   // Actors emit through the sim's router so sharded rounds can buffer
   // worker-thread events and replay them in deterministic order.
-  ctx.trace = sim.actor_trace(cfg.trace);
-  sim.set_trace(cfg.trace);  // before bind: initial corruptions are traced
+  ctx.trace = sim.actor_sink(cfg.trace);
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<PkNode>(v, &ctx, nullptr, cfg.seed));
   }
   const std::uint64_t total_rounds =
       static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot();
+  const NetPolicy net = make_net_policy(cfg.net, cfg.seed);
   std::unique_ptr<Adversary<Msg>> adversary;
   if (adversary::is_schedule_spec(cfg.adversary)) {
     adversary::ScheduleEnv<Msg> env;
@@ -302,15 +301,20 @@ RunResult run_phase_king(const PkConfig& cfg) {
     env.seed = cfg.seed ^ 0xAD7E25A1ULL;
     env.horizon = total_rounds;
     env.trace = cfg.trace;
+    env.net = net;
     env.honest_factory = [ctxp = &ctx, seed = cfg.seed](NodeId v) {
       return std::make_unique<PkNode>(v, ctxp, nullptr, seed);
     };
     adversary = adversary::make_scheduled_adversary<Msg>(cfg.adversary, env);
-    sim.bind_adversary(adversary.get());
   } else if (cfg.adversary != "none") {
     adversary = std::make_unique<PkAdversary>(&ctx, cfg.adversary, cfg.seed);
-    sim.bind_adversary(adversary.get());
   }
+  SimConfig<Msg> sc;
+  sc.trace = cfg.trace;
+  sc.node_jobs = cfg.node_jobs;
+  sc.net = net;
+  sc.adversary = adversary.get();
+  sim.configure(sc);
   for (std::uint64_t i = 0; i < total_rounds; ++i) {
     const std::uint32_t off = ctx.sched.offset_of(i);
     const Slot k = ctx.sched.slot_of(i);

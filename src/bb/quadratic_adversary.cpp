@@ -167,7 +167,8 @@ std::unique_ptr<Deviation> make_quad_deviation(const std::string& role) {
 std::unique_ptr<Adversary<Msg>> make_quad_adversary(const std::string& spec,
                                                     const Context* ctx,
                                                     std::uint64_t seed,
-                                                    Round horizon) {
+                                                    Round horizon,
+                                                    NetPolicy net) {
   if (spec == "none") return nullptr;
   if (adversary::is_schedule_spec(spec)) {
     adversary::ScheduleEnv<Msg> env;
@@ -176,6 +177,7 @@ std::unique_ptr<Adversary<Msg>> make_quad_adversary(const std::string& spec,
     env.seed = seed;
     env.horizon = horizon;
     env.trace = ctx->trace;
+    env.net = net;
     // The corrupted-seat replica runs honest logic but carries a no-op
     // Deviation marker: honest-only invariant CHECKs (TrustCast's
     // vote-or-value guarantee) must not fire for a Byzantine node

@@ -119,6 +119,9 @@ struct QuadConfig {
   /// Honest-phase shard threads per round (0 = auto, 1 = serial;
   /// byte-identical results for every value — DESIGN.md §15).
   std::uint32_t node_jobs = 1;
+  /// Network delay policy (DESIGN.md §16): "lockstep" (default) |
+  /// "bounded:<delta>" | "async[:<cap>]".
+  std::string net = "lockstep";
   trace::TraceSink* trace = nullptr;
   std::function<Value(Slot)> input_for_slot;
   std::function<NodeId(Slot)> sender_of;
@@ -139,6 +142,7 @@ RunResult run_quadratic(const QuadConfig& cfg);
 std::unique_ptr<Adversary<Msg>> make_quad_adversary(const std::string& spec,
                                                     const Context* ctx,
                                                     std::uint64_t seed,
-                                                    Round horizon);
+                                                    Round horizon,
+                                                    NetPolicy net = {});
 
 }  // namespace ambb::quad

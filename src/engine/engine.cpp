@@ -38,9 +38,11 @@ std::vector<JobOutcome> Engine::run(const std::vector<Job>& jobs) const {
     out.wall_ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     if (out.completed) {
-      out.violations = check_consistency(out.result);
-      auto v = check_validity(out.result);
-      out.violations.insert(out.violations.end(), v.begin(), v.end());
+      if (!job.allow_split) out.violations = check_consistency(out.result);
+      if (!job.allow_invalid) {
+        auto v = check_validity(out.result);
+        out.violations.insert(out.violations.end(), v.begin(), v.end());
+      }
       if (!job.allow_stall) {
         auto t = check_termination(out.result);
         out.violations.insert(out.violations.end(), t.begin(), t.end());

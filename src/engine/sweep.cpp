@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "sim/net_policy.hpp"
 #include "trace/trace.hpp"
 
 namespace ambb::engine {
@@ -60,6 +61,11 @@ std::vector<SweepJob> expand(const SweepSpec& spec) {
                    "sweep '" << spec.name << "': protocol '" << spec.protocol
                              << "' does not accept adversary '" << adv << "'");
   }
+  // An empty net list is the off-axis sentinel {"lockstep"}; every entry
+  // must parse so a typo fails at expansion, not mid-sweep.
+  const std::vector<std::string> nets =
+      spec.nets.empty() ? std::vector<std::string>{"lockstep"} : spec.nets;
+  for (const auto& net : nets) parse_net_policy(net);
 
   const std::string prefix = spec.name.empty() ? spec.protocol : spec.name;
   const bool many_seeds = spec.seed_begin != spec.seed_end;
@@ -84,41 +90,58 @@ std::vector<SweepJob> expand(const SweepSpec& spec) {
                                      << " bytes overflows value-bits for a "
                                         "non-ext protocol");
           }
-          for (const auto& adv : spec.adversaries) {
-            const bool stall_ok = may_stall(info, adv);
-            for (std::uint64_t seed = spec.seed_begin; seed <= spec.seed_end;
-                 ++seed) {
-              for (std::uint32_t rep = 0; rep < spec.repetitions; ++rep) {
-                SweepJob sj;
-                sj.protocol = spec.protocol;
-                sj.allow_stall = stall_ok;
-                sj.params.n = n;
-                sj.params.f = f;
-                sj.params.slots = L;
-                sj.params.seed = seed;
-                sj.params.adversary = adv;
-                sj.params.eps = spec.eps;
-                sj.params.kappa_bits = spec.kappa_bits;
-                sj.params.value_bits = spec.value_bits;
-                sj.params.payload_bytes = payload;
-                // A raw (non-ext) row carries the payload inline: the
-                // value width IS the payload width (registry.hpp).
-                if (payload != 0 && !is_ext) {
-                  sj.params.value_bits =
-                      static_cast<std::uint32_t>(8 * payload);
-                }
+          for (const auto& net : nets) {
+            const bool lockstep_net = net == "lockstep";
+            for (const auto& adv : spec.adversaries) {
+              // Non-lockstep cells relax the synchrony-conditional
+              // oracles: a delayed delivery can push the last commits
+              // past the fixed round horizon (termination), and a
+              // delayed honest sender is indistinguishable from a
+              // silent one (validity). Consistency stays a hard
+              // failure — except for rows whose agreement argument is
+              // itself a round deadline (consistency_needs_sync in the
+              // registry: the Dolev-Strong relay step, TrustCast,
+              // chunk dispersal), which may legally split under delays.
+              const bool stall_ok = may_stall(info, adv) || !lockstep_net;
+              for (std::uint64_t seed = spec.seed_begin;
+                   seed <= spec.seed_end; ++seed) {
+                for (std::uint32_t rep = 0; rep < spec.repetitions; ++rep) {
+                  SweepJob sj;
+                  sj.protocol = spec.protocol;
+                  sj.allow_stall = stall_ok;
+                  sj.allow_invalid = !lockstep_net;
+                  sj.allow_split =
+                      !lockstep_net && info.consistency_needs_sync;
+                  sj.params.n = n;
+                  sj.params.f = f;
+                  sj.params.slots = L;
+                  sj.params.seed = seed;
+                  sj.params.adversary = adv;
+                  sj.params.eps = spec.eps;
+                  sj.params.kappa_bits = spec.kappa_bits;
+                  sj.params.value_bits = spec.value_bits;
+                  sj.params.payload_bytes = payload;
+                  sj.params.net = net;
+                  // A raw (non-ext) row carries the payload inline: the
+                  // value width IS the payload width (registry.hpp).
+                  if (payload != 0 && !is_ext) {
+                    sj.params.value_bits =
+                        static_cast<std::uint32_t>(8 * payload);
+                  }
 
-                std::ostringstream label;
-                label << prefix << "/" << adv << "/n" << n;
-                // Keep labels short: only dimensions the spec actually
-                // sweeps (or sets off-default) appear after n.
-                if (fs.size() > 1) label << "/f" << f;
-                if (slots.size() > 1) label << "/L" << L;
-                if (payloads.size() > 1) label << "/p" << payload;
-                if (many_seeds) label << "/s" << seed;
-                if (spec.repetitions > 1) label << "/r" << (rep + 1);
-                sj.label = label.str();
-                out.push_back(std::move(sj));
+                  std::ostringstream label;
+                  label << prefix << "/" << adv << "/n" << n;
+                  // Keep labels short: only dimensions the spec actually
+                  // sweeps (or sets off-default) appear after n.
+                  if (fs.size() > 1) label << "/f" << f;
+                  if (slots.size() > 1) label << "/L" << L;
+                  if (payloads.size() > 1) label << "/p" << payload;
+                  if (nets.size() > 1 || !lockstep_net) label << "/" << net;
+                  if (many_seeds) label << "/s" << seed;
+                  if (spec.repetitions > 1) label << "/r" << (rep + 1);
+                  sj.label = label.str();
+                  out.push_back(std::move(sj));
+                }
               }
             }
           }
@@ -156,7 +179,7 @@ Job to_engine_job(const SweepJob& sj) {
   // invocation builds a fresh Simulation/ledger/RNG inside the driver.
   CommonParams params = sj.params;
   return Job{sj.label, [&info, params] { return info.run(params); },
-             sj.allow_stall};
+             sj.allow_stall, sj.allow_invalid, sj.allow_split};
 }
 
 std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs) {
@@ -199,7 +222,7 @@ std::vector<Job> to_engine_jobs(const std::vector<SweepJob>& sjs,
                         trace::JsonlSink sink(os);
                         return info.run(RunRequest{params, &sink});
                       },
-                      sj.allow_stall});
+                      sj.allow_stall, sj.allow_invalid, sj.allow_split});
   }
   return out;
 }
@@ -353,6 +376,11 @@ std::vector<SweepSpec> parse_spec(const std::string& text) {
         AMBB_CHECK_MSG(p >= 1, "spec line " << lineno
                                             << ": payload must be >= 1 byte");
         cur->payloads.push_back(p);
+      }
+    } else if (key == "net") {
+      cur->nets.assign(toks.begin() + 1, toks.end());
+      for (std::size_t i = 1; i < toks.size(); ++i) {
+        parse_net_policy(toks[i]);  // fail on the offending line, not later
       }
     } else {
       AMBB_CHECK_MSG(false,

@@ -1,10 +1,10 @@
 // Declarative sweep specification for the experiment engine.
 //
 // A SweepSpec names a protocol from the runner registry plus lists of
-// n / f / L / payload / adversary / seed values; expand() turns it into
-// the full cross product of independent engine jobs in a documented,
-// stable order (n, then f, then slots, then payload, then adversary,
-// then seed, then repetition).
+// n / f / L / payload / net / adversary / seed values; expand() turns it
+// into the full cross product of independent engine jobs in a documented,
+// stable order (n, then f, then slots, then payload, then net, then
+// adversary, then seed, then repetition).
 // The expansion order IS the aggregation order: together with the
 // engine's submission-order reporting it pins the output byte-for-byte
 // independently of --jobs.
@@ -29,6 +29,15 @@
 //                              #   ext:* rows erasure-code the payload,
 //                              #   every other row carries it inline
 //                              #   (value-bits = 8 * payload)
+//   net lockstep bounded:2     # network delay policies (DESIGN.md §16):
+//                              #   lockstep | bounded:<delta> |
+//                              #   async[:<cap>]; default lockstep.
+//                              #   Non-lockstep cells relax termination
+//                              #   and validity (both are conditional on
+//                              #   synchrony); consistency stays hard
+//                              #   except for consistency_needs_sync
+//                              #   registry rows (DS family, quadratic,
+//                              #   ext:*), whose splits are expected
 //
 // Blank lines between blocks are optional; later keys override earlier
 // ones within a block. Malformed input throws CheckError with the
@@ -81,6 +90,16 @@ struct SweepSpec {
   /// overrides value_bits with 8 * payload, pricing the same L-byte
   /// message carried inline — the raw baseline of the ext:* rows.
   std::vector<std::uint64_t> payloads;
+
+  /// Network delay-policy axis (DESIGN.md §16); empty = {"lockstep"}.
+  /// Each entry must parse (parse_net_policy). Cells with a non-lockstep
+  /// policy run with allow_stall and allow_invalid: termination AND
+  /// validity are conditional on synchrony (a delayed honest sender is
+  /// indistinguishable from a silent one). Consistency stays a hard
+  /// failure for quorum-intersection rows; rows whose agreement argument
+  /// is itself a round deadline declare consistency_needs_sync in the
+  /// registry and additionally get allow_split.
+  std::vector<std::string> nets;
 };
 
 /// One expanded cell: everything needed to run and label it.
@@ -89,6 +108,11 @@ struct SweepJob {
   std::string protocol;
   CommonParams params;
   bool allow_stall = false;  ///< from the registry's known liveness failures
+  bool allow_invalid = false;  ///< non-lockstep cell (engine::Job doc)
+  /// Non-lockstep cell of a consistency_needs_sync registry row: the
+  /// protocol's agreement argument is a round deadline, so honest
+  /// commits may legally split under delays (engine::Job::allow_split).
+  bool allow_split = false;
 };
 
 /// Cross-product expansion in the documented stable order. Validates the

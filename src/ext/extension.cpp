@@ -150,6 +150,7 @@ RunResult run_base(const ExtConfig& cfg, Slot base_slots,
     b.opts = linear::Options::paper();
     b.adversary = "none";
     b.node_jobs = cfg.node_jobs;
+    b.net = cfg.net;
     b.trace = cfg.trace;
     b.input_for_slot = input_for_slot;
     b.sender_of = sender_of;
@@ -165,6 +166,7 @@ RunResult run_base(const ExtConfig& cfg, Slot base_slots,
     b.value_bits = cfg.kappa_bits;
     b.adversary = "none";
     b.node_jobs = cfg.node_jobs;
+    b.net = cfg.net;
     b.trace = cfg.trace;
     b.input_for_slot = input_for_slot;
     b.sender_of = sender_of;
@@ -181,6 +183,7 @@ RunResult run_base(const ExtConfig& cfg, Slot base_slots,
     b.value_bits = cfg.kappa_bits;
     b.adversary = "none";
     b.node_jobs = cfg.node_jobs;
+    b.net = cfg.net;
     b.trace = cfg.trace;
     b.input_for_slot = input_for_slot;
     b.sender_of = sender_of;
@@ -252,11 +255,9 @@ RunResult run_extension(const ExtConfig& cfg) {
   // ---- Phase 1: chunk dispersal (2 lock-step rounds per slot). ----
   CostLedger ledger(kind_names());
   Sim sim(cfg.n, cfg.f, &ledger, CostPolicy{ctx.wire});
-  sim.set_node_jobs(cfg.node_jobs);
   // Actors emit through the sim's router so sharded rounds can buffer
   // worker-thread events and replay them in deterministic order.
-  ctx.trace = sim.actor_trace(cfg.trace);
-  sim.set_trace(cfg.trace);
+  ctx.trace = sim.actor_sink(cfg.trace);
   for (NodeId v = 0; v < cfg.n; ++v) {
     sim.set_actor(v, std::make_unique<ExtNode>(v, &ctx));
   }
@@ -264,6 +265,7 @@ RunResult run_extension(const ExtConfig& cfg) {
   // 2*slots - 1 and delivered at the start of round 2*slots.
   const std::uint64_t disp_rounds =
       static_cast<std::uint64_t>(cfg.slots) * ctx.sched.rounds_per_slot() + 1;
+  const NetPolicy net = make_net_policy(cfg.net, cfg.seed);
   std::unique_ptr<Adversary<Msg>> adversary;
   if (adversary::is_schedule_spec(cfg.adversary)) {
     adversary::ScheduleEnv<Msg> env;
@@ -272,12 +274,18 @@ RunResult run_extension(const ExtConfig& cfg) {
     env.seed = cfg.seed ^ 0xE87E9510ULL;
     env.horizon = disp_rounds;
     env.trace = cfg.trace;
+    env.net = net;
     env.honest_factory = [ctxp = &ctx](NodeId v) {
       return std::make_unique<ExtNode>(v, ctxp);
     };
     adversary = adversary::make_scheduled_adversary<Msg>(cfg.adversary, env);
-    sim.bind_adversary(adversary.get());
   }
+  SimConfig<Msg> sc;
+  sc.trace = cfg.trace;
+  sc.node_jobs = cfg.node_jobs;
+  sc.net = net;
+  sc.adversary = adversary.get();
+  sim.configure(sc);
   for (std::uint64_t i = 0; i < disp_rounds; ++i) {
     if (ctx.sched.offset_of(i) == 0 && ctx.sched.slot_of(i) <= cfg.slots) {
       const Slot k = ctx.sched.slot_of(i);

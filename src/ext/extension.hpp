@@ -165,6 +165,10 @@ struct ExtConfig {
   /// Honest-phase shard threads per round (0 = auto, 1 = serial;
   /// byte-identical results for every value — DESIGN.md §15).
   std::uint32_t node_jobs = 1;
+  /// Network delay policy (DESIGN.md §16): "lockstep" (default) |
+  /// "bounded:<delta>" | "async[:<cap>]". Applies to the dispersal sim
+  /// AND is forwarded to the nested base-family run.
+  std::string net = "lockstep";
   trace::TraceSink* trace = nullptr;
 };
 

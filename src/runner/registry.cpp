@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <limits>
 
 #include "adversary/spec.hpp"
 #include "bb/dolev_strong.hpp"
@@ -29,6 +30,7 @@ RunResult run_linear_with(const RunRequest& rq, linear::Options opts) {
   cfg.opts = opts;
   cfg.adversary = p.adversary;
   cfg.node_jobs = p.node_jobs;
+  cfg.net = p.net;
   cfg.trace = rq.trace;
   return run_linear(cfg);
 }
@@ -112,9 +114,14 @@ std::vector<ProtocolInfo> build() {
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
         cfg.node_jobs = p.node_jobs;
+        cfg.net = p.net;
         cfg.trace = rq.trace;
         return run_quadratic(cfg);
       }});
+  // TrustCast's agreement argument is a delivery deadline ("an honest
+  // sender's message reaches every trusted edge this round"), not a
+  // quorum: delayed deliveries can split honest commits (⊥ vs v).
+  out.back().consistency_needs_sync = true;
 
   const AdversaryPolicy ds_policy{
       {"none", "silent", "equivocate", "stagger"}, {}, false};
@@ -130,6 +137,7 @@ std::vector<ProtocolInfo> build() {
     cfg.value_bits = p.value_bits;
     cfg.adversary = p.adversary;
     cfg.node_jobs = p.node_jobs;
+    cfg.net = p.net;
     cfg.trace = rq.trace;
     return run_dolev_strong(cfg);
   };
@@ -140,6 +148,11 @@ std::vector<ProtocolInfo> build() {
       ds_policy,
       [](std::uint32_t n) { return n - 1; },
       [run_ds](const RunRequest& rq) { return run_ds(rq, false); }});
+  // The classic relay argument ("accepted at round r <= f ⇒ relayed, so
+  // everyone accepts by r+1") is exactly a synchrony assumption: a
+  // delayed relay lands past round f+1 and is rejected, splitting the
+  // extracted set.
+  out.back().consistency_needs_sync = true;
 
   out.push_back(ProtocolInfo{
       "dolev-strong-msig",
@@ -147,6 +160,7 @@ std::vector<ProtocolInfo> build() {
       ds_policy,
       [](std::uint32_t n) { return n - 1; },
       [run_ds](const RunRequest& rq) { return run_ds(rq, true); }});
+  out.back().consistency_needs_sync = true;
 
   out.push_back(ProtocolInfo{
       "phase-king",
@@ -164,6 +178,7 @@ std::vector<ProtocolInfo> build() {
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
         cfg.node_jobs = p.node_jobs;
+        cfg.net = p.net;
         cfg.trace = rq.trace;
         return run_phase_king(cfg);
       }});
@@ -216,9 +231,15 @@ std::vector<ProtocolInfo> build() {
             cfg.base = base;
             cfg.adversary = p.adversary;
             cfg.node_jobs = p.node_jobs;
+            cfg.net = p.net;
             cfg.trace = rq.trace;
             return ext::run_extension(cfg);
           }});
+      // Chunk dispersal and receipt collection run on fixed round
+      // deadlines regardless of the base family: a delayed chunk misses
+      // its reconstruction window and the receiver outputs ⊥ while
+      // better-connected peers decode the payload.
+      out.back().consistency_needs_sync = true;
     }
   }
 
@@ -242,6 +263,7 @@ std::vector<ProtocolInfo> build() {
         cfg.value_bits = p.value_bits;
         cfg.adversary = p.adversary;
         cfg.node_jobs = p.node_jobs;
+        cfg.net = p.net;
         cfg.trace = rq.trace;
         return run_hotstuff_demo(cfg);
       }});
@@ -268,15 +290,58 @@ const std::vector<ProtocolInfo>& protocols() {
 }
 
 const ProtocolInfo& protocol(const std::string& name) {
-  for (const auto& p : protocols()) {
-    if (p.name == name) return p;
-  }
-  AMBB_CHECK_MSG(false, "unknown protocol '" << name << "'");
+  const ProtocolInfo* p = find_protocol(name);
+  AMBB_CHECK_MSG(p != nullptr, "unknown protocol '" << name << "'");
   // AMBB_CHECK_MSG always throws, but it expands to a do/while the
   // compiler cannot see through; without this the function falls off the
   // end of a non-void return path (-Wreturn-type / UB if the macro ever
   // changed).
-  std::abort();
+  if (p == nullptr) std::abort();
+  return *p;
+}
+
+const ProtocolInfo* find_protocol(const std::string& name) {
+  for (const auto& p : protocols()) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+namespace {
+
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  // Plain Levenshtein, rolling single row; both operands are short
+  // protocol names, so quadratic time is irrelevant.
+  std::vector<std::size_t> row(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    std::size_t diag = row[0];
+    row[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diag = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string suggest_protocol(const std::string& name) {
+  std::string best;
+  std::size_t best_d = std::numeric_limits<std::size_t>::max();
+  for (const auto& p : protocols()) {
+    const std::size_t d = edit_distance(name, p.name);
+    if (d < best_d) {
+      best_d = d;
+      best = p.name;
+    }
+  }
+  // Only suggest when the typo is plausible: within half the query's
+  // length (so "linearr" -> "linear" but "zzz" suggests nothing).
+  const std::size_t cutoff = std::max<std::size_t>(1, name.size() / 2);
+  return best_d <= cutoff ? best : std::string();
 }
 
 bool accepts_adversary(const ProtocolInfo& info, const std::string& spec) {

@@ -38,6 +38,14 @@ struct CommonParams {
   /// byte-identical for every value. Composes with the engine's run-level
   /// --jobs as a multiplier on total threads (engine::resolve_node_jobs).
   std::uint32_t node_jobs = 1;
+  /// Network delay policy (DESIGN.md §16): "lockstep" (classic synchronous
+  /// delivery, the default — byte-identical to the pre-scheduler engine),
+  /// "bounded:<delta>" (partial synchrony, seeded extra delays up to delta
+  /// rounds) or "async[:<cap>]" (adversary-scheduled delivery, eventual
+  /// delivery within cap rounds). Parsed per run with the run seed mixed
+  /// in (make_net_policy), so the whole execution stays a pure function of
+  /// (params, seed).
+  std::string net = "lockstep";
 };
 
 /// One run, fully specified: the parameters plus an optional trace sink.
@@ -84,10 +92,33 @@ struct ProtocolInfo {
   /// Largest f this protocol supports for a given n.
   std::function<std::uint32_t(std::uint32_t n)> max_f;
   std::function<RunResult(const RunRequest&)> run;
+  /// True if the protocol's CONSISTENCY argument itself leans on the
+  /// synchronous round structure — the Dolev-Strong relay step ("accepted
+  /// at round r <= f ⇒ everyone accepts by r+1"), TrustCast's trust-graph
+  /// delivery deadline, the extension rows' chunk-dispersal window. Under
+  /// a non-lockstep delay policy (DESIGN.md §16) such a row may legally
+  /// split: one honest node commits v while another times out to ⊥.
+  /// Campaigns report the split instead of failing it. Rows whose
+  /// consistency rests on quorum intersection (the linear family,
+  /// phase-king, hotstuff) leave this false, and consistency stays a hard
+  /// oracle for them under every network model.
+  bool consistency_needs_sync = false;
 };
 
 const std::vector<ProtocolInfo>& protocols();
+
+/// Lookup that throws (CheckError) on an unknown name. Prefer
+/// find_protocol in user-facing code so the caller can print the
+/// available list and a nearest-name suggestion instead of aborting.
 const ProtocolInfo& protocol(const std::string& name);
+
+/// Lookup that reports failure: nullptr when `name` is not registered.
+const ProtocolInfo* find_protocol(const std::string& name);
+
+/// Closest registered protocol name by edit distance, for
+/// "unknown protocol 'X', did you mean 'Y'?" diagnostics. Empty string
+/// when nothing is plausibly close (distance > half the query length).
+std::string suggest_protocol(const std::string& name);
 
 /// Convenience forwarders to info.policy.
 bool accepts_adversary(const ProtocolInfo& info, const std::string& spec);

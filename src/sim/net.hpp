@@ -23,8 +23,8 @@
 // the former eager-copy representation enumerated envelopes, so erase
 // indices (and therefore seeded adversary decisions) are unchanged.
 //
-// Node-sharded rounds (DESIGN.md §15): with set_node_jobs(W > 1) the
-// honest-actor phase of step() fans out over a persistent ShardPool.
+// Node-sharded rounds (DESIGN.md §15): with SimConfig::node_jobs = W > 1
+// the honest-actor phase of step() fans out over a persistent ShardPool.
 // Each worker runs a contiguous range of the ascending honest-id order
 // into a private TrafficLog shard (own arena) and a private trace-event
 // buffer; the main thread then merges shards in shard order, which IS
@@ -32,6 +32,19 @@
 // indices, charge order, and JSONL traces are byte-identical to the
 // serial loop. Byzantine/rushing, adversary, accounting, and delivery
 // phases stay serial: they are cheap and order-sensitive.
+//
+// Event-queue scheduler (DESIGN.md §16): delivery is driven by a
+// deterministic event queue parameterized by a NetPolicy
+// (sim/net_policy.hpp). Under the default lockstep policy the queue
+// stays empty and the delivery phase is the classic synchronous fan-out
+// — byte-identical to the pre-scheduler simulator. Under bounded/async
+// policies, each surviving delivery may be deferred by extra rounds
+// (policy draw + adversary delay() calls, clamped to the policy bound):
+// the payload is copied into a due-round bucket and delivered, before
+// that round's fresh lock-step traffic, in emission order. Accounting
+// is charged at EMISSION time (the sender paid to transmit; the network
+// holding a message does not refund it), and erased deliveries never
+// enter the queue — erasure always wins over delay.
 #pragma once
 
 #include <algorithm>
@@ -39,16 +52,19 @@
 #include <cstdint>
 #include <exception>
 #include <functional>
+#include <map>
 #include <memory>
 #include <span>
 #include <thread>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/arena.hpp"
 #include "common/check.hpp"
 #include "common/types.hpp"
 #include "sim/cost.hpp"
+#include "sim/net_policy.hpp"
 #include "sim/shard_pool.hpp"
 #include "sim/stats.hpp"
 #include "trace/trace.hpp"
@@ -258,6 +274,20 @@ class CorruptionCtl {
   /// erased — after-the-fact removal.
   virtual void erase(std::size_t delivery_index) = 0;
 
+  /// Defer one delivery of the current round by `extra_rounds` past the
+  /// lock-step latency. Timing is a NETWORK power, not a corruption: any
+  /// sender's traffic may be delayed, honest or not, and no budget is
+  /// consumed — but the policy bound still applies (the total extra
+  /// delay of a delivery is clamped to Δ under bounded and to the
+  /// eventual-delivery cap under async). Rejected under lockstep.
+  /// Erasing the same delivery wins: an erased message is never queued.
+  virtual void delay(std::size_t delivery_index,
+                     std::uint32_t extra_rounds) = 0;
+
+  /// The delay policy in force (lockstep when unconfigured), so
+  /// adversaries can scale their timing faults to the policy bound.
+  virtual const NetPolicy& net() const = 0;
+
   virtual bool is_corrupt(NodeId node) const = 0;
   virtual std::uint32_t corruption_budget_left() const = 0;
 };
@@ -334,6 +364,30 @@ class ActorTraceRouter final : public trace::TraceSink {
   trace::TraceSink* downstream_ = nullptr;
 };
 
+/// Everything a Simulation needs beyond its constructor arguments, in
+/// one order-insensitive value. Apply with Simulation::configure() after
+/// installing the honest actors and before the first step(); an
+/// unconfigured Simulation runs with the defaults below (untraced,
+/// serial, lockstep, no adversary).
+template <typename Msg>
+struct SimConfig {
+  /// Trace sink (may be nullptr = untraced). The simulator emits one
+  /// kRoundEnd per step() plus a kAdversaryAction for every corruption,
+  /// erasure and delay; configure() installs the sink before applying
+  /// initial corruptions, so those are traced too. Pure observation:
+  /// the execution is bit-identical with or without a sink.
+  trace::TraceSink* trace = nullptr;
+  /// Honest-phase shard count: 1 = serial rounds, 0 = one shard per
+  /// hardware thread; results are byte-identical for every value.
+  unsigned node_jobs = 1;
+  /// Message-delay policy (sim/net_policy.hpp). Drivers build it with
+  /// make_net_policy(spec, run_seed) so the bounded draw is seeded.
+  NetPolicy net{};
+  /// The adversary (may be nullptr). Its initial corruptions are applied
+  /// inside configure(), replacing the corrupted nodes' actors.
+  Adversary<Msg>* adversary = nullptr;
+};
+
 template <typename Msg, typename Policy = Accounting<Msg>>
 class Simulation final : CorruptionCtl<Msg> {
  public:
@@ -352,50 +406,55 @@ class Simulation final : CorruptionCtl<Msg> {
     for (auto& ib : inboxes_) ib.set_arena(inbox_arena_.get());
   }
 
-  /// Install the honest actor for every node, then bind the adversary
-  /// (which replaces actors of initially corrupted nodes).
+  /// Install the honest actor for every node. Do this before
+  /// configure(): binding the adversary replaces the actors of initially
+  /// corrupted nodes.
   void set_actor(NodeId node, std::unique_ptr<Actor<Msg>> actor) {
     AMBB_CHECK(node < n_);
     actors_[node] = std::move(actor);
   }
 
-  void bind_adversary(Adversary<Msg>* adversary) {
-    adversary_ = adversary;
-    if (adversary_ == nullptr) return;
-    for (NodeId v : adversary_->initial_corruptions()) do_corrupt(v);
-  }
-
-  /// Attach a trace sink (may be nullptr). The simulator emits one
-  /// kRoundEnd per step() plus a kAdversaryAction for every corruption
-  /// and erasure; attach BEFORE bind_adversary so initial corruptions
-  /// are traced too. Pure observation: the execution is bit-identical
-  /// with or without a sink.
-  void set_trace(trace::TraceSink* sink) { trace_ = sink; }
-
-  /// Shard the honest-actor phase of step() across `jobs` threads
-  /// (0 = one per hardware thread, 1 = serial; results are byte-identical
-  /// for every value — see the header comment). Call before run, not
-  /// mid-round.
-  void set_node_jobs(unsigned jobs) {
+  /// Apply the full run configuration in one order-insensitive call —
+  /// THE setup entry point (trace sink, node sharding, delay policy,
+  /// adversary). Must run before the first step() and at most once: the
+  /// scheduler's determinism argument assumes the policy and shard count
+  /// never change mid-run.
+  void configure(const SimConfig<Msg>& cfg) {
+    AMBB_CHECK_MSG(!configured_ && round_ == 0,
+                   "Simulation::configure: must be called at most once, "
+                   "before the first step()");
+    configured_ = true;
+    trace_ = cfg.trace;
+    unsigned jobs = cfg.node_jobs;
     if (jobs == 0) {
       jobs = std::thread::hardware_concurrency();
       if (jobs == 0) jobs = 1;
     }
-    if (pool_ != nullptr && pool_->shards() != jobs) pool_.reset();
     node_jobs_ = jobs;
+    net_ = cfg.net;
+    adversary_ = cfg.adversary;
+    if (adversary_ != nullptr) {
+      for (NodeId v : adversary_->initial_corruptions()) do_corrupt(v);
+    }
   }
 
   unsigned node_jobs() const { return node_jobs_; }
 
-  /// The sink actors (ProtocolContext::trace) must emit through. For
-  /// node_jobs == 1 this is `downstream` itself; for sharded rounds it is
-  /// a router that buffers worker-thread events for the deterministic
-  /// merge. Returns nullptr when `downstream` is null, so untraced runs
-  /// skip event construction entirely. Call after set_node_jobs.
-  trace::TraceSink* actor_trace(trace::TraceSink* downstream) {
+  /// The delay policy in force.
+  const NetPolicy& net() const override { return net_; }
+
+  /// The sink actors (ProtocolContext::trace) must emit through. Safe to
+  /// call BEFORE configure() — drivers need the pointer while
+  /// constructing actors, before the shard count is known — because it
+  /// always routes through the fan-in router: during sharded rounds a
+  /// worker thread's events land in its bound buffer for the
+  /// deterministic merge, and everywhere else (serial rounds, driver
+  /// code, node_jobs == 1) they pass straight through to `downstream`.
+  /// Returns nullptr when `downstream` is null, so untraced runs skip
+  /// event construction entirely.
+  trace::TraceSink* actor_sink(trace::TraceSink* downstream) {
     actor_router_.set_downstream(downstream);
-    if (downstream == nullptr) return nullptr;
-    return node_jobs_ > 1 ? &actor_router_ : downstream;
+    return downstream == nullptr ? nullptr : &actor_router_;
   }
 
   Round now() const { return round_; }
@@ -442,6 +501,7 @@ class Simulation final : CorruptionCtl<Msg> {
 
     cur_.reset(n_);
     erased_.clear();
+    delayed_.clear();
     if (roster_dirty_) rebuild_roster();
 
     // 1. Honest actors act on their inboxes.
@@ -517,31 +577,96 @@ class Simulation final : CorruptionCtl<Msg> {
     for (NodeId v : touched_inboxes_) inboxes_[v].reset();
     touched_inboxes_.clear();
     inbox_arena_->reset();
-    if (erased_.empty()) {
-      for (const auto& rec : cur_.records()) {
-        if (rec.is_multicast()) {
-          for (NodeId v = 0; v < n_; ++v) deliver_to(v, rec);
-        } else {
-          deliver_to(rec.to, rec);
+    //    Event queue first: deliveries deferred by earlier rounds that
+    //    mature now land BEFORE this round's fresh lock-step traffic, in
+    //    emission order (buckets are filled round by round). The bucket
+    //    is moved into pending_ready_, which stays untouched until the
+    //    next delivery phase — the same lifetime rule that lets inboxes
+    //    reference prev_'s arena. Under lockstep the queue is provably
+    //    empty and this block never runs.
+    if (!pending_.empty()) {
+      auto due = pending_.find(round_ + 1);
+      if (due != pending_.end()) {
+        pending_ready_ = std::move(due->second);
+        pending_.erase(due);
+        for (const PendingMsg& pm : pending_ready_) {
+          auto& ib = inboxes_[pm.to];
+          if (ib.empty()) touched_inboxes_.push_back(pm.to);
+          ib.push_back(Delivery<Msg>{pm.from, &pm.msg});
         }
       }
-    } else {
-      auto er = erased_.begin();
-      for (const auto& rec : cur_.records()) {
-        if (rec.is_multicast()) {
-          for (NodeId v = 0; v < n_; ++v) {
-            if (er != erased_.end() && *er == rec.base + v) {
+    }
+    if (net_.lockstep()) {
+      //  Lock-step fast path: textually the pre-scheduler delivery loop,
+      //  so existing goldens cannot move (no per-delivery policy draws).
+      if (erased_.empty()) {
+        for (const auto& rec : cur_.records()) {
+          if (rec.is_multicast()) {
+            for (NodeId v = 0; v < n_; ++v) deliver_to(v, rec);
+          } else {
+            deliver_to(rec.to, rec);
+          }
+        }
+      } else {
+        auto er = erased_.begin();
+        for (const auto& rec : cur_.records()) {
+          if (rec.is_multicast()) {
+            for (NodeId v = 0; v < n_; ++v) {
+              if (er != erased_.end() && *er == rec.base + v) {
+                ++er;
+                continue;
+              }
+              deliver_to(v, rec);
+            }
+          } else {
+            if (er != erased_.end() && *er == rec.base) {
               ++er;
               continue;
             }
-            deliver_to(v, rec);
+            deliver_to(rec.to, rec);
           }
-        } else {
-          if (er != erased_.end() && *er == rec.base) {
+        }
+      }
+    } else {
+      //  Timing path: per delivery, combine the policy's seeded base
+      //  draw with any adversary delay() requests (summed, then clamped
+      //  to the policy bound) and either deliver next round or copy the
+      //  payload into the due-round bucket. Erasure wins over delay.
+      if (!delayed_.empty()) std::sort(delayed_.begin(), delayed_.end());
+      auto er = erased_.begin();
+      auto dl = delayed_.begin();
+      for (const auto& rec : cur_.records()) {
+        const std::size_t fanout = cur_.fanout(rec);
+        for (std::size_t d = rec.base; d < rec.base + fanout; ++d) {
+          if (er != erased_.end() && *er == d) {
             ++er;
+            while (dl != delayed_.end() && dl->first == d) ++dl;
             continue;
           }
-          deliver_to(rec.to, rec);
+          std::uint64_t extra = net_.base_extra(round_, d);
+          while (dl != delayed_.end() && dl->first == d) {
+            extra += dl->second;
+            ++dl;
+          }
+          const std::uint32_t x = net_.clamp_extra(extra);
+          const NodeId v = cur_.recipient_of(rec, d);
+          if (x == 0) {
+            deliver_to(v, rec);
+            continue;
+          }
+          const Round land = round_ + 1 + x;
+          pending_[land].push_back(PendingMsg{rec.from, v, rec.msg});
+          st.delayed += 1;
+          if (trace_ != nullptr) {
+            trace::Event ev;
+            ev.kind = trace::EventKind::kDeliveryDelayed;
+            ev.round = round_;
+            ev.node = rec.from;
+            ev.subject = v;
+            ev.count = d;
+            ev.value = land;
+            trace_->on_event(ev);
+          }
         }
       }
     }
@@ -700,6 +825,24 @@ class Simulation final : CorruptionCtl<Msg> {
     trace::emit(trace_, ev);
   }
 
+  void delay(std::size_t delivery_index, std::uint32_t extra_rounds) override {
+    AMBB_CHECK_MSG(!net_.lockstep(),
+                   "timing faults need a bounded or async delay policy");
+    AMBB_CHECK(delivery_index < cur_.deliveries());
+    if (extra_rounds == 0) return;
+    delayed_.emplace_back(delivery_index, extra_rounds);
+    if (trace_ != nullptr) {
+      const auto& rec = cur_.records()[cur_.record_of(delivery_index)];
+      trace::Event ev;
+      ev.kind = trace::EventKind::kAdversaryAction;
+      ev.round = round_;
+      ev.node = rec.from;
+      ev.count = delivery_index;
+      ev.detail = "delay";
+      trace_->on_event(ev);
+    }
+  }
+
   void do_corrupt(NodeId node) {
     AMBB_CHECK(node < n_);
     if (corrupt_[node]) return;
@@ -739,6 +882,23 @@ class Simulation final : CorruptionCtl<Msg> {
   TrafficLog<Msg> prev_;  ///< last round's records, referenced by inboxes
   /// Delivery indices erased this round (sorted + deduped after step 3).
   std::vector<std::size_t> erased_;
+  /// Adversary delay() requests of this round: (delivery index, extra
+  /// rounds). Sorted in the delivery phase; duplicates sum.
+  std::vector<std::pair<std::size_t, std::uint32_t>> delayed_;
+  /// One payload copy per deferred delivery, bucketed by the round whose
+  /// inboxes it lands in. A bucket lives in the map until its due round's
+  /// delivery phase, then moves to pending_ready_ for one round (the
+  /// inboxes reference it — same lifetime rule as prev_). Empty forever
+  /// under lockstep.
+  struct PendingMsg {
+    NodeId from;
+    NodeId to;
+    Msg msg;
+  };
+  std::map<Round, std::vector<PendingMsg>> pending_;
+  std::vector<PendingMsg> pending_ready_;
+  NetPolicy net_;
+  bool configured_ = false;
   std::vector<RoundStats> round_stats_;
   RoundStatsSummary summary_;
   trace::TraceSink* trace_ = nullptr;

@@ -12,6 +12,7 @@ void accumulate(RoundStatsSummary& s, const RoundStats& r) {
   s.adversary_bits += r.adversary_bits;
   s.erasures += r.erasures;
   s.corruptions += r.corruptions;
+  s.delayed += r.delayed;
   s.ns_honest += r.ns_honest;
   s.ns_byzantine += r.ns_byzantine;
   s.ns_adversary += r.ns_adversary;

@@ -32,6 +32,11 @@ struct RoundStats {
   std::uint32_t erasures = 0;
   std::uint32_t corruptions = 0;
 
+  /// Deliveries of this round deferred past the lock-step latency by the
+  /// delay policy or a timing adversary (DESIGN.md §16). Always zero
+  /// under the lockstep policy.
+  std::uint64_t delayed = 0;
+
   /// Wall-clock per phase of Simulation::step(), nanoseconds.
   std::uint64_t ns_honest = 0;      ///< step 1: honest actors
   std::uint64_t ns_byzantine = 0;   ///< step 2: rushing Byzantine actors
@@ -54,6 +59,7 @@ struct RoundStatsSummary {
   std::uint64_t adversary_bits = 0;
   std::uint64_t erasures = 0;
   std::uint64_t corruptions = 0;
+  std::uint64_t delayed = 0;
   std::uint64_t ns_honest = 0;
   std::uint64_t ns_byzantine = 0;
   std::uint64_t ns_adversary = 0;

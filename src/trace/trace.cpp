@@ -16,6 +16,7 @@ const char* event_kind_name(EventKind k) {
     case EventKind::kChunkDisperse: return "chunk-disperse";
     case EventKind::kChunkEcho: return "chunk-echo";
     case EventKind::kReconstruct: return "reconstruct";
+    case EventKind::kDeliveryDelayed: return "delivery-delayed";
   }
   return "?";
 }
@@ -90,13 +91,16 @@ void to_jsonl(std::ostream& os, const Event& e) {
       break;
     case EventKind::kRoundEnd:
       // Deterministic counters only — ns_* wall-clock timers are
-      // intentionally absent so goldens stay byte-identical.
+      // intentionally absent so goldens stay byte-identical. "delayed"
+      // appears only when nonzero: it is always zero under the lockstep
+      // policy, so pre-scheduler goldens stay byte-identical too.
       field(os, "records", e.stats.records, &first);
       field(os, "deliveries", e.stats.deliveries, &first);
       field(os, "honest_bits", e.stats.honest_bits, &first);
       field(os, "adversary_bits", e.stats.adversary_bits, &first);
       field(os, "erasures", e.stats.erasures, &first);
       field(os, "corruptions", e.stats.corruptions, &first);
+      if (e.stats.delayed != 0) field(os, "delayed", e.stats.delayed, &first);
       break;
     case EventKind::kChunkDisperse:
       // value = 64-bit fingerprint of the committed Merkle root,
@@ -119,6 +123,14 @@ void to_jsonl(std::ostream& os, const Event& e) {
       field(os, "value", e.value, &first);
       field(os, "count", e.count, &first);
       field_str(os, "detail", e.detail, &first);
+      break;
+    case EventKind::kDeliveryDelayed:
+      // node = sender, subject = recipient, count = delivery index in
+      // the emission round, value = the round the message lands in.
+      field(os, "node", e.node, &first);
+      field(os, "subject", e.subject, &first);
+      field(os, "count", e.count, &first);
+      field(os, "value", e.value, &first);
       break;
   }
   os << '}';

@@ -36,6 +36,7 @@ enum class EventKind : std::uint8_t {
   kChunkDisperse,     ///< ext: slot sender unicasts coded chunks (§13)
   kChunkEcho,         ///< ext: node multicasts its own verified column
   kReconstruct,       ///< ext: node's end-of-run decode decision
+  kDeliveryDelayed,   ///< scheduler: delivery deferred past lock-step (§16)
 };
 
 /// Stable lowercase name used in JSONL output and timelines.

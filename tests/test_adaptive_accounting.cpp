@@ -90,7 +90,9 @@ TEST(AdaptiveAccounting, ErasedDeliveryChargedToNobody) {
     ctl.corrupt(0);
     ctl.erase(0);
   });
-  sim.bind_adversary(&adv);
+  SimConfig<ToyMsg> sc;
+  sc.adversary = &adv;
+  sim.configure(sc);
   sim.run_rounds(2);
   // Removed before it traversed the wire: neither ledger side pays.
   EXPECT_EQ(ledger.honest_bits_total(), 0u);
@@ -116,7 +118,9 @@ TEST(AdaptiveAccounting, SurvivingTrafficOfFreshlyCorruptedNodeIsAdversaryBits) 
                          CorruptionCtl<ToyMsg>& ctl) {
     if (r == 0) ctl.corrupt(0);
   });
-  sim.bind_adversary(&adv);
+  SimConfig<ToyMsg> sc;
+  sc.adversary = &adv;
+  sim.configure(sc);
   sim.run_rounds(2);
   EXPECT_EQ(node1_got, 1);
   EXPECT_EQ(ledger.honest_bits_total(), 0u);
@@ -161,7 +165,9 @@ TEST(AdaptiveAccounting, ErasingSelfCopyDoesNotDoubleDeduct) {
     ctl.corrupt(0);
     ctl.erase(0);
   });
-  sim.bind_adversary(&adv);
+  SimConfig<ToyMsg> sc;
+  sc.adversary = &adv;
+  sim.configure(sc);
   sim.run_rounds(2);
   // The free self-copy was erased; the three real copies are still billed
   // (to the adversary, since the sender is now corrupt) — the "free self"
@@ -190,7 +196,9 @@ TEST(AdaptiveAccounting, EraseAddressesOneDeliveryOfASharedMulticast) {
     ctl.corrupt(0);
     ctl.erase(2);
   });
-  sim.bind_adversary(&adv);
+  SimConfig<ToyMsg> sc;
+  sc.adversary = &adv;
+  sim.configure(sc);
   sim.run_rounds(2);
   // got[0] is not asserted: corrupting node 0 replaced its recording
   // actor with the adversary's.

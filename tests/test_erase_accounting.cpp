@@ -169,7 +169,9 @@ CaseResult simulate(const std::vector<std::size_t>& erased) {
     for (std::size_t idx : erased) ctl.corrupt(sender_of_index(idx));
     for (std::size_t idx : erased) ctl.erase(idx);
   });
-  sim.bind_adversary(&adv);
+  SimConfig<ToyMsg> sc;
+  sc.adversary = &adv;
+  sim.configure(sc);
   sim.step();
   sim.step();
   got.honest_bits = ledger.honest_bits_total();
@@ -254,7 +256,9 @@ TEST(EraseAccounting, ErasingAnHonestSendersDeliveryIsRejected) {
                          CorruptionCtl<ToyMsg>& ctl) {
     if (r == 0) ctl.erase(1);  // sender 0 was never corrupted
   });
-  sim.bind_adversary(&adv);
+  SimConfig<ToyMsg> sc;
+  sc.adversary = &adv;
+  sim.configure(sc);
   EXPECT_THROW(sim.step(), CheckError);
 }
 

@@ -43,6 +43,14 @@ std::unique_ptr<ScriptActor> idle() {
   return std::make_unique<ScriptActor>(nullptr);
 }
 
+/// Post-API-redesign shorthand: configure() is the only setup entry
+/// point; these tests only ever attach an adversary.
+void bind(Simulation<ToyMsg>& sim, Adversary<ToyMsg>* adv) {
+  SimConfig<ToyMsg> sc;
+  sc.adversary = adv;
+  sim.configure(sc);
+}
+
 TEST(Simulation, MessagesArriveNextRound) {
   CostLedger ledger({"toy"});
   Simulation<ToyMsg> sim(3, 1, &ledger, toy_accounting());
@@ -103,7 +111,7 @@ TEST(Simulation, HonestBitsVsAdversaryBits) {
                        }));
   sim.set_actor(1, idle());
   sim.set_actor(2, idle());
-  sim.bind_adversary(&adv);
+  bind(sim, &adv);
   sim.run_rounds(2);
   EXPECT_EQ(ledger.honest_bits_total(), 100u);
   EXPECT_EQ(ledger.adversary_bits_total(), 100u);
@@ -133,7 +141,7 @@ TEST(Simulation, ByzantineActorsSeeRushedHonestTraffic) {
                          api.send(0, ToyMsg{5});
                        }));
   sim.set_actor(1, idle());
-  sim.bind_adversary(&adv);
+  bind(sim, &adv);
   sim.run_rounds(1);
   EXPECT_TRUE(saw_rushed);
 }
@@ -173,7 +181,7 @@ TEST(Simulation, AfterTheFactRemovalErasesAndRecharges) {
                          node1_deliveries += inbox.size();
                        }));
   sim.set_actor(2, idle());
-  sim.bind_adversary(&adv);
+  bind(sim, &adv);
   sim.run_rounds(2);
   EXPECT_EQ(node1_deliveries, 0);
   EXPECT_EQ(ledger.honest_bits_total(), 0u);
@@ -204,7 +212,7 @@ TEST(Simulation, ErasingHonestTrafficIsRejected) {
                          api.send(1, ToyMsg{1});
                        }));
   sim.set_actor(1, idle());
-  sim.bind_adversary(&adv);
+  bind(sim, &adv);
   sim.run_rounds(1);
 }
 
@@ -226,7 +234,7 @@ TEST(Simulation, CorruptionBudgetEnforced) {
   } adv;
 
   for (NodeId v = 0; v < 3; ++v) sim.set_actor(v, idle());
-  sim.bind_adversary(&adv);
+  bind(sim, &adv);
   sim.run_rounds(1);
   EXPECT_EQ(sim.corrupt_count(), 1u);
 }
@@ -242,7 +250,7 @@ TEST(Simulation, InitialCorruptionsOverBudgetThrow) {
     }
   } adv;
   for (NodeId v = 0; v < 3; ++v) sim.set_actor(v, idle());
-  EXPECT_THROW(sim.bind_adversary(&adv), CheckError);
+  EXPECT_THROW(bind(sim, &adv), CheckError);
 }
 
 }  // namespace

@@ -161,7 +161,9 @@ TEST(Simulation, EraseAtFanoutBoundariesRemovesExactlyOneDelivery) {
   Simulation<int> sim(n, /*f=*/1, &ledger, acct);
   for (NodeId v = 0; v < n; ++v) sim.set_actor(v, std::make_unique<Silent>());
   EdgeEraser adv;
-  sim.bind_adversary(&adv);
+  SimConfig<int> sc;
+  sc.adversary = &adv;
+  sim.configure(sc);
 
   sim.step();
 

@@ -1,7 +1,7 @@
 // ambb_sweep — run declarative experiment sweeps on the parallel engine.
 //
 //   ambb_sweep --spec FILE [--jobs N] [--node-jobs N] [--filter SUBSTR]
-//              [--out NAME] [--trace-dir DIR] [--list]
+//              [--out NAME] [--net POLICY] [--trace-dir DIR] [--list]
 //
 //   --spec FILE      sweep specification (format: src/engine/sweep.hpp)
 //   --jobs N         worker threads; 0 or omitted = one per hardware
@@ -14,6 +14,9 @@
 //                    for every value.
 //   --filter SUBSTR  keep only jobs whose label contains SUBSTR
 //   --out NAME       write BENCH_<NAME>.json (default: sweep)
+//   --net POLICY     delay policy for blocks without their own 'net' key
+//                    (DESIGN.md §16): lockstep (default) |
+//                    bounded:<delta> | async[:<cap>]
 //   --trace-dir DIR  write one JSONL event trace per run into DIR
 //                    (created if missing); files are named by submission
 //                    order, so --jobs does not change names or contents
@@ -25,13 +28,14 @@
 // non-zero iff any job failed.
 #include <chrono>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "common/check.hpp"
 #include "engine/engine.hpp"
 #include "engine/report.hpp"
@@ -42,61 +46,36 @@ namespace {
 
 struct Cli {
   std::string spec_path;
-  std::string filter;
-  std::string out = "sweep";
   std::string trace_dir;
-  unsigned jobs = 0;
-  unsigned node_jobs = 1;
+  ambb::cli::CommonFlags common;
   bool list = false;
 };
 
 void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ambb_sweep --spec FILE [--jobs N] [--node-jobs N] "
-               "[--filter SUBSTR] [--out NAME] [--trace-dir DIR] [--list]\n");
+               "[--filter SUBSTR] [--out NAME] [--net POLICY] "
+               "[--trace-dir DIR] [--list]\n");
 }
 
 bool parse_cli(int argc, char** argv, Cli& cli) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "ambb_sweep: %s needs a value\n", arg.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    if (arg == "--spec") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      cli.spec_path = v;
-    } else if (arg == "--jobs") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      cli.jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (arg == "--node-jobs") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      cli.node_jobs = static_cast<unsigned>(std::strtoul(v, nullptr, 10));
-    } else if (arg == "--filter") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      cli.filter = v;
-    } else if (arg == "--out") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      cli.out = v;
-    } else if (arg == "--trace-dir") {
-      const char* v = value();
-      if (v == nullptr) return false;
-      cli.trace_dir = v;
-    } else if (arg == "--list") {
+  cli.common.out = "sweep";
+  ambb::cli::Parser p("ambb_sweep", argc, argv);
+  while (p.next()) {
+    bool ok = true;
+    if (ambb::cli::handle_common_flag(p, &cli.common, &ok)) {
+      if (!ok) return false;
+    } else if (p.arg() == "--spec") {
+      if (!p.to_str(&cli.spec_path)) return false;
+    } else if (p.arg() == "--trace-dir") {
+      if (!p.to_str(&cli.trace_dir)) return false;
+    } else if (p.arg() == "--list") {
       cli.list = true;
-    } else if (arg == "--help" || arg == "-h") {
+    } else if (p.arg() == "--help" || p.arg() == "-h") {
       usage(stdout);
       std::exit(0);
     } else {
-      std::fprintf(stderr, "ambb_sweep: unknown argument '%s'\n", arg.c_str());
+      p.unknown();
       return false;
     }
   }
@@ -129,8 +108,16 @@ int main(int argc, char** argv) {
 
   std::vector<engine::SweepJob> sweep_jobs;
   try {
-    sweep_jobs = engine::filter_jobs(
-        engine::expand_all(engine::parse_spec(text.str())), cli.filter);
+    std::vector<engine::SweepSpec> specs = engine::parse_spec(text.str());
+    // --net is the default delay policy: blocks with their own 'net' key
+    // keep it, everything else inherits the flag.
+    if (cli.common.net != "lockstep") {
+      for (auto& s : specs) {
+        if (s.nets.empty()) s.nets = {cli.common.net};
+      }
+    }
+    sweep_jobs =
+        engine::filter_jobs(engine::expand_all(specs), cli.common.filter);
   } catch (const CheckError& e) {
     std::fprintf(stderr, "ambb_sweep: invalid spec: %s\n", e.what());
     return 2;
@@ -143,7 +130,7 @@ int main(int argc, char** argv) {
   }
   if (sweep_jobs.empty()) {
     std::fprintf(stderr, "ambb_sweep: nothing to run (filter '%s')\n",
-                 cli.filter.c_str());
+                 cli.common.filter.c_str());
     return 2;
   }
 
@@ -157,8 +144,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const engine::Engine eng(cli.jobs);
-  const unsigned node_jobs = engine::resolve_node_jobs(cli.node_jobs,
+  const engine::Engine eng(cli.common.jobs);
+  const unsigned node_jobs = engine::resolve_node_jobs(cli.common.node_jobs,
                                                        eng.jobs());
   for (auto& sj : sweep_jobs) sj.params.node_jobs = node_jobs;
   std::printf("ambb_sweep: %zu jobs on %u worker thread%s, %u node shard%s\n",
@@ -209,9 +196,9 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::string path = "BENCH_" + cli.out + ".json";
-  if (engine::write_bench_json(path, cli.out, records, violations, eng.jobs(),
-                               wall_ms_total)) {
+  const std::string path = "BENCH_" + cli.common.out + ".json";
+  if (engine::write_bench_json(path, cli.common.out, records, violations,
+                               eng.jobs(), wall_ms_total)) {
     std::printf("wrote %s (%zu runs, %u threads, %.1f ms total)\n",
                 path.c_str(), records.size(), eng.jobs(), wall_ms_total);
     if (!cli.trace_dir.empty()) {

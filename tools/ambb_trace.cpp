@@ -7,26 +7,30 @@
 // and where commits stopped.
 //
 //   ambb_trace --protocol NAME [--adversary SPEC] [--n N] [--f F]
-//              [--slots L] [--seed S] [--eps E] [--payload BYTES] [--slot K]
-//              [--jsonl FILE]
+//              [--slots L] [--seed S] [--eps E] [--payload BYTES]
+//              [--net POLICY] [--node-jobs N] [--slot K] [--jsonl FILE]
 //
 //   --protocol NAME  registry protocol (required; see protocol_explorer)
 //   --adversary SPEC named strategy or "sched:..." / "fuzz[:k]" schedule
 //   --payload BYTES  per-slot payload size (DESIGN.md §13): ext:* rows
 //                    erasure-code it, other rows carry it inline
 //                    (value-bits = 8 * BYTES)
+//   --net POLICY     delay policy (DESIGN.md §16): lockstep (default) |
+//                    bounded:<delta> | async[:<cap>] — replay a sweep or
+//                    fuzz cell under the same network it ran with
+//   --node-jobs N    honest-phase shard threads (byte-identical output)
 //   --slot K         only print the timeline of slot K (summary stays)
 //   --jsonl FILE     also dump the raw deterministic JSONL event stream
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <limits>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "cli.hpp"
 #include "common/check.hpp"
 #include "runner/registry.hpp"
 #include "trace/trace.hpp"
@@ -46,42 +50,48 @@ void usage(std::FILE* to) {
   std::fprintf(to,
                "usage: ambb_trace --protocol NAME [--adversary SPEC] "
                "[--n N] [--f F] [--slots L] [--seed S] [--eps E] "
-               "[--payload BYTES] "
+               "[--payload BYTES] [--net POLICY] [--node-jobs N] "
                "[--slot K] [--jsonl FILE]\n");
 }
 
 bool parse_cli(int argc, char** argv, Cli& cli) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "ambb_trace: %s needs a value\n", arg.c_str());
-        return nullptr;
-      }
-      return argv[++i];
-    };
-    const char* v = nullptr;
-    if (arg == "--help" || arg == "-h") {
+  ambb::cli::CommonFlags common;
+  common.accept = ambb::cli::kNodeJobs | ambb::cli::kNet;
+  ambb::cli::Parser p("ambb_trace", argc, argv);
+  while (p.next()) {
+    bool ok = true;
+    if (ambb::cli::handle_common_flag(p, &common, &ok)) {
+      if (!ok) return false;
+    } else if (p.arg() == "--help" || p.arg() == "-h") {
       usage(stdout);
       std::exit(0);
-    }
-    if ((v = value()) == nullptr) return false;
-    if (arg == "--protocol") cli.protocol = v;
-    else if (arg == "--adversary") cli.params.adversary = v;
-    else if (arg == "--n") cli.params.n = static_cast<std::uint32_t>(std::atoi(v));
-    else if (arg == "--f") cli.params.f = static_cast<std::uint32_t>(std::atoi(v));
-    else if (arg == "--slots") cli.params.slots = static_cast<Slot>(std::atoi(v));
-    else if (arg == "--seed") cli.params.seed = static_cast<std::uint64_t>(std::atoll(v));
-    else if (arg == "--eps") cli.params.eps = std::atof(v);
-    else if (arg == "--payload")
-      cli.params.payload_bytes = static_cast<std::uint64_t>(std::atoll(v));
-    else if (arg == "--slot") cli.only_slot = static_cast<Slot>(std::atoi(v));
-    else if (arg == "--jsonl") cli.jsonl = v;
-    else {
-      std::fprintf(stderr, "ambb_trace: unknown argument '%s'\n", arg.c_str());
+    } else if (p.arg() == "--protocol") {
+      if (!p.to_str(&cli.protocol)) return false;
+    } else if (p.arg() == "--adversary") {
+      if (!p.to_str(&cli.params.adversary)) return false;
+    } else if (p.arg() == "--n") {
+      if (!p.to_u32(&cli.params.n)) return false;
+    } else if (p.arg() == "--f") {
+      if (!p.to_u32(&cli.params.f)) return false;
+    } else if (p.arg() == "--slots") {
+      if (!p.to_u32(&cli.params.slots)) return false;
+    } else if (p.arg() == "--seed") {
+      if (!p.to_u64(&cli.params.seed)) return false;
+    } else if (p.arg() == "--eps") {
+      if (!p.to_double(&cli.params.eps)) return false;
+    } else if (p.arg() == "--payload") {
+      if (!p.to_u64(&cli.params.payload_bytes)) return false;
+    } else if (p.arg() == "--slot") {
+      if (!p.to_u32(&cli.only_slot)) return false;
+    } else if (p.arg() == "--jsonl") {
+      if (!p.to_str(&cli.jsonl)) return false;
+    } else {
+      p.unknown();
       return false;
     }
   }
+  cli.params.node_jobs = common.node_jobs;
+  cli.params.net = common.net;
   // Non-ext rows carry a nonzero payload inline, same mapping as the
   // sweep layer (engine/sweep.cpp). Applied after the loop so the flag
   // order does not matter.
@@ -119,7 +129,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const ProtocolInfo& info = protocol(cli.protocol);
+  const ProtocolInfo* found =
+      ambb::cli::resolve_protocol("ambb_trace", cli.protocol);
+  if (found == nullptr) return 2;
+  const ProtocolInfo& info = *found;
   if (!info.policy.accepts(cli.params.adversary)) {
     std::fprintf(stderr, "ambb_trace: protocol '%s' does not accept "
                  "adversary '%s'\n",

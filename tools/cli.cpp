@@ -1,0 +1,153 @@
+#include "cli.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "common/check.hpp"
+#include "sim/net_policy.hpp"
+
+namespace ambb::cli {
+
+bool Parser::next() {
+  if (i_ + 1 >= argc_) return false;
+  arg_ = argv_[++i_];
+  return true;
+}
+
+const char* Parser::value() {
+  if (i_ + 1 >= argc_) {
+    std::fprintf(stderr, "%s: %s needs a value\n", tool_, arg_.c_str());
+    return nullptr;
+  }
+  return argv_[++i_];
+}
+
+namespace {
+
+bool parse_u64_strict(const char* v, std::uint64_t* out) {
+  if (*v == '\0') return false;
+  std::uint64_t acc = 0;
+  for (const char* c = v; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') return false;
+    if (acc > (std::numeric_limits<std::uint64_t>::max() - 9) / 10) {
+      return false;
+    }
+    acc = acc * 10 + static_cast<std::uint64_t>(*c - '0');
+  }
+  *out = acc;
+  return true;
+}
+
+}  // namespace
+
+bool Parser::to_u64(std::uint64_t* out) {
+  const char* v = value();
+  if (v == nullptr) return false;
+  if (!parse_u64_strict(v, out)) {
+    std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", tool_,
+                 arg_.c_str(), v);
+    return false;
+  }
+  return true;
+}
+
+bool Parser::to_u32(std::uint32_t* out) {
+  std::uint64_t v = 0;
+  if (!to_u64(&v)) return false;
+  if (v > std::numeric_limits<std::uint32_t>::max()) {
+    std::fprintf(stderr, "%s: %s value %llu is out of range\n", tool_,
+                 arg_.c_str(), static_cast<unsigned long long>(v));
+    return false;
+  }
+  *out = static_cast<std::uint32_t>(v);
+  return true;
+}
+
+bool Parser::to_unsigned(unsigned* out) {
+  std::uint32_t v = 0;
+  if (!to_u32(&v)) return false;
+  *out = v;
+  return true;
+}
+
+bool Parser::to_double(double* out) {
+  const char* v = value();
+  if (v == nullptr) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double d = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s: %s expects a number, got '%s'\n", tool_,
+                 arg_.c_str(), v);
+    return false;
+  }
+  *out = d;
+  return true;
+}
+
+bool Parser::to_str(std::string* out) {
+  const char* v = value();
+  if (v == nullptr) return false;
+  *out = v;
+  return true;
+}
+
+void Parser::unknown() const {
+  std::fprintf(stderr, "%s: unknown argument '%s'\n", tool_, arg_.c_str());
+}
+
+bool handle_common_flag(Parser& p, CommonFlags* cf, bool* ok) {
+  *ok = true;
+  const std::string& arg = p.arg();
+  if ((cf->accept & kJobs) != 0 && arg == "--jobs") {
+    *ok = p.to_unsigned(&cf->jobs);
+    return true;
+  }
+  if ((cf->accept & kNodeJobs) != 0 && arg == "--node-jobs") {
+    *ok = p.to_unsigned(&cf->node_jobs);
+    return true;
+  }
+  if ((cf->accept & kOut) != 0 && arg == "--out") {
+    *ok = p.to_str(&cf->out);
+    return true;
+  }
+  if ((cf->accept & kFilter) != 0 && arg == "--filter") {
+    *ok = p.to_str(&cf->filter);
+    return true;
+  }
+  if ((cf->accept & kNet) != 0 && arg == "--net") {
+    if (!p.to_str(&cf->net)) {
+      *ok = false;
+      return true;
+    }
+    try {
+      parse_net_policy(cf->net);
+    } catch (const CheckError& e) {
+      std::fprintf(stderr, "%s: %s\n", p.tool(), e.what());
+      *ok = false;
+    }
+    return true;
+  }
+  return false;
+}
+
+const ProtocolInfo* resolve_protocol(const char* tool,
+                                     const std::string& name) {
+  const ProtocolInfo* info = find_protocol(name);
+  if (info != nullptr) return info;
+  const std::string hint = suggest_protocol(name);
+  if (hint.empty()) {
+    std::fprintf(stderr, "%s: unknown protocol '%s'\n", tool, name.c_str());
+  } else {
+    std::fprintf(stderr, "%s: unknown protocol '%s', did you mean '%s'?\n",
+                 tool, name.c_str(), hint.c_str());
+  }
+  std::fprintf(stderr, "%s: available protocols:", tool);
+  for (const auto& p : protocols()) std::fprintf(stderr, " %s", p.name.c_str());
+  std::fprintf(stderr, "\n");
+  return nullptr;
+}
+
+}  // namespace ambb::cli
